@@ -1,0 +1,25 @@
+"""Bench: Section VI-B — per-stage critical-path impact."""
+
+import pytest
+
+from repro.experiments import critical_path
+
+
+def test_critical_path_regeneration(benchmark):
+    result = benchmark(critical_path.run)
+    print()
+    print(result.format())
+    # paper: RC negligible, VA +20 %, SA +10 %, XB +25 %
+    assert result.row("RC critical-path increase").measured < 0.06
+    assert result.row("VA critical-path increase").measured == pytest.approx(
+        0.20, abs=0.04
+    )
+    assert result.row("SA critical-path increase").measured == pytest.approx(
+        0.10, abs=0.04
+    )
+    assert result.row("XB critical-path increase").measured == pytest.approx(
+        0.25, abs=0.04
+    )
+    # ordering: XB takes the worst hit, VA next, SA mild, RC negligible
+    overheads = result.extras["report"].overheads
+    assert overheads["XB"] > overheads["VA"] > overheads["SA"] > overheads["RC"]

@@ -1,0 +1,47 @@
+"""Bench: the Figure 7 vs Figure 8 cross-check.
+
+The paper's headline pair — PARSEC's faulty-latency overhead (13 %)
+exceeds SPLASH-2's (10 %) — comes from PARSEC loading the fabric harder.
+This bench verifies the *ordering* on a reduced configuration using the
+heaviest and lightest apps of each suite as sentinels, and verifies the
+suite-level average injection-rate ordering that drives it.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments.latency import LatencyConfig, run_app_pair
+from repro.traffic.apps import PARSEC_PROFILES, SPLASH2_PROFILES, app_profile
+
+CFG = LatencyConfig(
+    width=4,
+    height=4,
+    warmup_cycles=500,
+    measure_cycles=3000,
+    drain_cycles=4000,
+    num_faults=24,
+)
+
+
+def test_suite_load_ordering(benchmark):
+    def measure():
+        s = np.mean([p.injection_rate for p in SPLASH2_PROFILES])
+        p = np.mean([p.injection_rate for p in PARSEC_PROFILES])
+        return s, p
+
+    s, p = benchmark(measure)
+    assert p > s  # PARSEC loads harder on average -> 13 % > 10 %
+
+
+def test_heavier_app_sees_larger_fault_overhead(benchmark):
+    def measure():
+        light = run_app_pair(app_profile("water-nsq"), CFG)
+        heavy = run_app_pair(app_profile("canneal"), CFG)
+        return light, heavy
+
+    light, heavy = run_once(benchmark, measure)
+    print(
+        f"\nwater-nsq: {light.overhead:+.1%}  canneal: {heavy.overhead:+.1%}"
+    )
+    assert heavy.fault_free > light.fault_free  # heavier base load
+    assert heavy.overhead >= light.overhead - 0.02

@@ -1,0 +1,71 @@
+"""Bench (comparison): RoCo's graceful degradation vs the proposed router.
+
+The paper's argument against RoCo (Section III): "it cannot tolerate
+faults in virtual channel allocation and crossbar stages" beyond
+module-level degradation.  This bench makes the difference concrete in
+simulation: after the same row-side fault barrage, the proposed router
+keeps *all* traffic flowing (in-router redundancy), while the RoCo model
+retires its row module — column traffic survives, row traffic strands.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.comparison.roco_router import roco_router_factory
+from repro.config import (
+    NetworkConfig,
+    PORT_EAST,
+    PORT_WEST,
+    RouterConfig,
+    SimulationConfig,
+)
+from repro.core.protected_router import protected_router_factory
+from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.sites import FaultSite, FaultUnit
+from repro.network.simulator import NoCSimulator
+from repro.traffic.generator import SyntheticTraffic
+
+NET = NetworkConfig(width=4, height=4, router=RouterConfig(num_vcs=4))
+VICTIM = NET.node_id(1, 1)
+
+#: three row-side faults: enough to kill RoCo's row module (tolerance 2),
+#: all individually tolerated by the proposed router
+ROW_BARRAGE = [
+    (0, FaultSite(VICTIM, FaultUnit.SA1_ARBITER, PORT_EAST)),
+    (0, FaultSite(VICTIM, FaultUnit.VA1_ARBITER_SET, PORT_WEST, 0)),
+    (0, FaultSite(VICTIM, FaultUnit.XB_MUX, PORT_EAST)),
+]
+
+
+def run(factory):
+    sim = NoCSimulator(
+        NET,
+        SimulationConfig(warmup_cycles=200, measure_cycles=2500,
+                         drain_cycles=2500, seed=17, watchdog_cycles=1000),
+        SyntheticTraffic(NET, injection_rate=0.08, rng=17),
+        router_factory=factory,
+        fault_schedule=ScheduledFaultInjector(list(ROW_BARRAGE)),
+    )
+    return sim.run()
+
+
+def test_roco_degrades_proposed_tolerates(benchmark):
+    def measure():
+        return (
+            run(protected_router_factory(NET)),
+            run(roco_router_factory(NET)),
+        )
+
+    proposed, roco = run_once(benchmark, measure)
+    print(
+        f"\nproposed: delivered {proposed.stats.packets_ejected}/"
+        f"{proposed.stats.packets_created} "
+        f"lat={proposed.avg_network_latency:.2f}"
+        f"  roco: delivered {roco.stats.packets_ejected}/"
+        f"{roco.stats.packets_created}"
+    )
+    # the proposed router tolerates all three faults: full delivery
+    assert not proposed.blocked and proposed.drained
+    assert proposed.stats.packets_ejected == proposed.stats.packets_created
+    # RoCo's row module dies: row traffic through the victim strands
+    assert roco.blocked or roco.stats.packets_ejected < roco.stats.packets_created

@@ -1,0 +1,67 @@
+"""Engineering benchmark: raw simulator throughput.
+
+Not a paper artefact — tracks the cycle-loop performance the figure
+reproductions depend on (cycles/second on the standard 8x8 configuration
+at moderate load), so regressions in the hot path show up here first.
+"""
+
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.network.simulator import NoCSimulator
+from repro.traffic.generator import COHERENCE_MIX, SyntheticTraffic
+
+
+def make_sim(width=8, height=8, rate=0.08, cycles=1500):
+    net = NetworkConfig(
+        width=width,
+        height=height,
+        router=RouterConfig(num_vcs=4, num_vnets=2),
+    )
+    return NoCSimulator(
+        net,
+        SimulationConfig(
+            warmup_cycles=0, measure_cycles=cycles, drain_cycles=0
+        ),
+        SyntheticTraffic(net, injection_rate=rate, mix=COHERENCE_MIX, rng=1),
+        router_factory=protected_router_factory(net),
+    )
+
+
+def test_8x8_protected_throughput(benchmark):
+    def run():
+        sim = make_sim()
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.stats.flits_injected > 0
+
+
+def test_4x4_baseline_throughput(benchmark):
+    from repro.network.simulator import baseline_router_factory
+
+    def run():
+        net = NetworkConfig(width=4, height=4)
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(warmup_cycles=0, measure_cycles=2000,
+                             drain_cycles=0),
+            SyntheticTraffic(net, injection_rate=0.08, rng=1),
+        )
+        return sim.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.stats.flits_injected > 0
+
+
+def test_spf_monte_carlo_throughput(benchmark):
+    from repro.reliability.spf import monte_carlo_faults_to_failure
+
+    mc = benchmark.pedantic(
+        lambda: monte_carlo_faults_to_failure(trials=200, rng=1),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert 2 <= mc.mean <= 28

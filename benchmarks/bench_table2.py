@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Table II (correction-circuitry FIT values)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(table2.run)
+    print()
+    print(result.format())
+    for stage, paper in (("RC", 117.0), ("VA", 60.0), ("SA", 53.0), ("XB", 416.0)):
+        assert result.row(f"FIT({stage} correction)").measured == pytest.approx(
+            paper
+        )
+    assert result.row("FIT(total correction)").measured == pytest.approx(646.0)

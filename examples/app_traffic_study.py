@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Application-workload study: SPLASH-2/PARSEC surrogates on the mesh.
+
+Shows the workload layer: per-application surrogate traffic (injection
+rate, burstiness, directory hotspotting), trace record/replay for
+reproducible comparisons, and a mini version of the paper's Figure 7
+study (fault-free vs faulty latency per application).
+
+Uses a reduced 4x4 configuration so it finishes in well under a minute;
+the full 8x8 reproduction lives in `python -m repro.experiments fig7`.
+
+Run:  python examples/app_traffic_study.py
+"""
+
+from repro.config import NetworkConfig, RouterConfig
+from repro.experiments.latency import LatencyConfig, run_app_pair
+from repro.traffic import (
+    app_profile,
+    directory_home_nodes,
+    make_app_traffic,
+    record_source,
+    save_trace,
+)
+
+
+def describe_workloads() -> None:
+    net = NetworkConfig(
+        width=8, height=8, router=RouterConfig(num_vcs=4, num_vnets=2)
+    )
+    print("directory home nodes (hotspots):", directory_home_nodes(net))
+    print("\napp surrogate fingerprints:")
+    for name in ("water-nsq", "ocean", "blackscholes", "canneal"):
+        p = app_profile(name)
+        print(
+            f"  {p.name:<13} [{p.suite}]  rate={p.injection_rate:.3f} "
+            f"flits/node/cycle  burstiness={p.burstiness:.2f} "
+            f"hotspot={p.hotspot_fraction:.0%}"
+        )
+
+    # record 2000 cycles of 'ocean' as a replayable trace
+    traffic = make_app_traffic(net, "ocean", rng=11)
+    packets = record_source(traffic, 2000)
+    out = "/tmp/ocean_trace.jsonl"
+    n = save_trace(packets, out)
+    print(f"\nrecorded {n} 'ocean' packets to {out} (replay via TraceTraffic)")
+
+
+def mini_figure7() -> None:
+    cfg = LatencyConfig(
+        width=4,
+        height=4,
+        warmup_cycles=500,
+        measure_cycles=3_000,
+        drain_cycles=4_000,
+        num_faults=24,
+    )
+    print("\nmini Figure 7 (4x4 mesh, 24 tolerated faults):")
+    print(f"{'app':<13} {'fault-free':>11} {'faulty':>9} {'overhead':>9}")
+    for name in ("water-nsq", "lu", "fft", "ocean"):
+        r = run_app_pair(app_profile(name), cfg)
+        print(
+            f"{r.app:<13} {r.fault_free:>11.2f} {r.faulty:>9.2f} "
+            f"{r.overhead:>+9.1%}"
+        )
+
+
+def main() -> None:
+    describe_workloads()
+    mini_figure7()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of Poluri & Louri, "An Improved Router Design for
+Reliable On-Chip Networks" (IPDPS 2014).
+
+Public API tour
+---------------
+* :mod:`repro.router` — the generic 4-stage VC router substrate.
+* :mod:`repro.core` — the paper's contribution: the protected router.
+* :mod:`repro.network` — the cycle-accurate mesh/torus simulator.
+* :mod:`repro.faults` — permanent-fault sites and injection schedules.
+* :mod:`repro.reliability` — FORC/FIT/SOFR/MTTF/SPF analysis.
+* :mod:`repro.synthesis` — 45 nm gate-level area/power/timing proxy.
+* :mod:`repro.comparison` — BulletProof / Vicis / RoCo reliability models.
+* :mod:`repro.traffic` — synthetic patterns and SPLASH-2/PARSEC surrogates.
+* :mod:`repro.experiments` — regenerates every paper table and figure.
+"""
+
+from .config import NetworkConfig, RouterConfig, SimulationConfig, replace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NetworkConfig",
+    "RouterConfig",
+    "SimulationConfig",
+    "replace",
+    "__version__",
+]

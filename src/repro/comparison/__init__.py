@@ -1,0 +1,27 @@
+"""Comparison fault-tolerant routers: BulletProof, Vicis, RoCo."""
+
+from .bulletproof import BulletProofModel, NMRUnit, SparedComponent
+from .ecc_sim import DatapathFaultyRouter, ECCStudyResult, run_ecc_study
+from .roco import RoCoModel, RowColumnState
+from .roco_router import RoCoRouter, roco_router_factory
+from .spf_table import SPFRow, build_spf_table, proposed_router_wins
+from .vicis import HammingSECDED, VicisModel, best_port_swap
+
+__all__ = [
+    "BulletProofModel",
+    "DatapathFaultyRouter",
+    "ECCStudyResult",
+    "HammingSECDED",
+    "run_ecc_study",
+    "NMRUnit",
+    "RoCoModel",
+    "RoCoRouter",
+    "RowColumnState",
+    "roco_router_factory",
+    "SPFRow",
+    "SparedComponent",
+    "VicisModel",
+    "best_port_swap",
+    "build_spf_table",
+    "proposed_router_wins",
+]

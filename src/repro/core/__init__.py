@@ -1,0 +1,44 @@
+"""The paper's contribution: the multi-fault-tolerant protected router."""
+
+from .failure import (
+    baseline_router_failed,
+    failed_stages,
+    protected_router_failed,
+    rc_port_failed,
+    sa_port_failed,
+    va2_output_failed,
+    va_port_failed,
+    xb_output_failed,
+)
+from .ft_crossbar import (
+    SecondaryPathCrossbar,
+    demux_fanouts,
+    max_tolerable_mux_faults,
+    reachable_outputs_exact,
+    secondary_source,
+)
+from .ft_rc import DuplicatedRCUnit
+from .ft_sa import BypassSAUnit
+from .ft_va import ArbiterSharingVAUnit
+from .protected_router import ProtectedRouter, protected_router_factory
+
+__all__ = [
+    "ArbiterSharingVAUnit",
+    "BypassSAUnit",
+    "DuplicatedRCUnit",
+    "ProtectedRouter",
+    "SecondaryPathCrossbar",
+    "baseline_router_failed",
+    "demux_fanouts",
+    "failed_stages",
+    "max_tolerable_mux_faults",
+    "protected_router_factory",
+    "protected_router_failed",
+    "rc_port_failed",
+    "reachable_outputs_exact",
+    "sa_port_failed",
+    "secondary_source",
+    "va2_output_failed",
+    "va_port_failed",
+    "xb_output_failed",
+]

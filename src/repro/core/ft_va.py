@@ -1,0 +1,99 @@
+"""Fault-tolerant virtual-channel allocation (paper Section V-B).
+
+**Stage 1 — arbiter sharing.**  Every input VC owns an identical set of
+``po`` ``v:1`` arbiters.  When a VC's set is faulty, the VC *borrows* the
+set of another VC of the same input port: it scans the ``G`` fields of its
+siblings and picks the first whose arbiters are idle this cycle — i.e. a
+VC that is idle or in switch-allocation (ACTIVE) state.  The borrow
+protocol uses the Figure 4 fields: the borrower writes its RC result into
+the lender's ``R2`` field, its identity into ``ID``, and raises ``VF``;
+after a successful allocation the VA unit uses ``ID`` to update the
+*borrower's* state and clears the lender's fields.
+
+Two timing scenarios (Section V-B1):
+
+* *Scenario 1* — the lender's arbiters are idle: allocation completes in
+  the same cycle (only the critical path is affected).
+* *Scenario 2* — the lender is itself in VA this cycle: the lender
+  allocates first and the borrower waits one extra cycle.
+
+**Stage 2 — inherent redundancy.**  A faulty per-downstream-VC arbiter
+means that downstream VC can never be granted; the affected head flit
+simply retries with a *different* free downstream VC next cycle (+1 cycle,
+no extra circuitry).  We record the failed downstream VC in the VC's
+``va_excluded`` set so the retry cannot loop on the same faulty arbiter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..router.allocator import VAUnit
+from ..router.vc import VCState, VirtualChannel
+
+
+class ArbiterSharingVAUnit(VAUnit):
+    """VA unit with stage-1 arbiter sharing and stage-2 retry."""
+
+    def __init__(self, router, arbiter_kind: str = "round_robin") -> None:
+        super().__init__(router, arbiter_kind)
+        #: (port, slot) arbiter sets already lent out this cycle
+        self._lent: set[tuple[int, int]] = set()
+        #: lenders whose R2/VF/ID fields must be cleared at end of cycle
+        self._pending_clear: list[VirtualChannel] = []
+
+    def allocate(self, cycle: int):
+        self._lent.clear()
+        grants = super().allocate(cycle)
+        # "Once the arbiters ... have successfully allocated ... the VA unit
+        # resets the R2, ID and VF fields" — we clear unconditionally at the
+        # end of the cycle; an unsuccessful borrower re-raises VF next cycle.
+        for lender in self._pending_clear:
+            lender.clear_borrow_request()
+        self._pending_clear.clear()
+        return grants
+
+    def _stage1_arbiters(self, port: int, slot: int):
+        faults = self.router.faults
+        if (port, slot) not in faults.va1:
+            # A healthy set that is used by its owner this cycle cannot be
+            # lent simultaneously.
+            self._lent.add((port, slot))
+            return slot, self.stage1[port][slot]
+
+        # Borrower path: scan sibling VCs of the same input port.
+        in_port = self.router.in_ports[port]
+        borrower = in_port.slots[slot]
+        for lender_slot, lender in enumerate(in_port.slots):
+            if lender_slot == slot:
+                continue
+            if (port, lender_slot) in faults.va1:
+                continue  # the sibling's set is faulty too
+            if (port, lender_slot) in self._lent:
+                continue  # already used/lent this cycle
+            if lender.state in (VCState.IDLE, VCState.ACTIVE):
+                # Scenario 1: arbiters idle -> borrow in the same cycle.
+                lender.r2 = borrower.route
+                lender.vf = True
+                lender.borrower_id = slot
+                self._pending_clear.append(lender)
+                self._lent.add((port, lender_slot))
+                return lender_slot, self.stage1[port][lender_slot]
+        # Scenario 2 (or no healthy sibling set at all): wait this cycle.
+        self.router.stats.va_borrow_wait_cycles += 1
+        return None
+
+    def _on_stage2_fault(self, vc: VirtualChannel, out_port: int, dvc: int) -> None:
+        """Exclude the faulty downstream-VC arbiter from the retry."""
+        if vc.va_excluded is None:
+            vc.va_excluded = set()
+        vc.va_excluded.add(dvc)
+        vc.va_retry += 1
+
+    # ------------------------------------------------------------------
+    def port_failed(self, port: int) -> bool:
+        """Section VIII-B: all ``v`` arbiter sets of the port faulty."""
+        faults = self.router.faults
+        return all(
+            (port, s) in faults.va1 for s in range(self.router.config.num_vcs)
+        )

@@ -1,0 +1,80 @@
+"""Terminal bar charts for the figure reproductions.
+
+The paper's Figures 7 and 8 are grouped bar charts (fault-free vs faulty
+latency per application).  This module renders the same series as
+Unicode text so `python -m repro.experiments fig7` shows the figure, not
+just the rows — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+FULL = "█"
+HALF = "▌"
+
+
+def hbar(value: float, vmax: float, width: int = 40) -> str:
+    """A horizontal bar scaled so ``vmax`` fills ``width`` characters."""
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    if value < 0:
+        raise ValueError("value must be >= 0")
+    cells = value / vmax * width
+    full = int(cells)
+    frac = cells - full
+    bar = FULL * min(full, width)
+    if full < width and frac >= 0.5:
+        bar += HALF
+    return bar
+
+
+def grouped_bars(
+    labels: Sequence[str],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+    name_a: str = "fault-free",
+    name_b: str = "faulty",
+    width: int = 40,
+    unit: str = "cycles",
+) -> str:
+    """Render two series per label as paired horizontal bars."""
+    if not (len(labels) == len(series_a) == len(series_b)):
+        raise ValueError("labels and series must have equal length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    vmax = max(max(series_a), max(series_b))
+    label_w = max(len(l) for l in labels)
+    lines = [f"{'':<{label_w}}   {name_a} vs {name_b} ({unit})"]
+    for label, a, b in zip(labels, series_a, series_b):
+        lines.append(f"{label:<{label_w}}  |{hbar(a, vmax, width)} {a:.1f}")
+        lines.append(f"{'':<{label_w}}  |{hbar(b, vmax, width)} {b:.1f}")
+    return "\n".join(lines)
+
+
+def latency_figure(results, title: str) -> str:
+    """Figure 7/8-style chart from a list of AppLatency results."""
+    labels = [r.app for r in results]
+    ff = [r.fault_free for r in results]
+    fy = [r.faulty for r in results]
+    chart = grouped_bars(labels, ff, fy)
+    overall = sum(r.overhead for r in results) / len(results)
+    return f"{title}\n{chart}\noverall latency increase: {overall:+.1%}"
+
+
+def curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 40,
+    x_label: str = "load",
+    y_label: str = "latency",
+) -> str:
+    """A one-series horizontal-bar 'curve' (monotone x expected)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    vmax = max(ys)
+    lines = [f"{x_label:>8}  {y_label}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>8.3f}  |{hbar(y, vmax, width)} {y:.1f}")
+    return "\n".join(lines)

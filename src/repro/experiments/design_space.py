@@ -1,0 +1,95 @@
+"""Experiment ``design_space`` — router provisioning exploration (extension).
+
+Sweeps the two sizing knobs the paper fixes (4 VCs, 4-flit buffers) and
+reports their three-way trade-off:
+
+* performance — fault-free latency at a reference load,
+* reliability — SPF (more VCs = more inherent redundancy to share),
+* cost — area overhead of the correction circuitry (relatively smaller
+  in bigger routers).
+
+The paper's Section VIII-E covers the SPF column of this table; the
+performance and cost columns complete the designer's picture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import NetworkConfig, RouterConfig, SimulationConfig
+from ..core.protected_router import protected_router_factory
+from ..network.simulator import NoCSimulator
+from ..reliability.spf import analyze_spf
+from ..reliability.stages import RouterGeometry
+from ..synthesis.area import area_overhead
+from ..traffic.generator import SyntheticTraffic
+from .report import ExperimentResult
+
+
+def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
+             measure: int) -> float:
+    net = NetworkConfig(
+        width=4, height=4,
+        router=RouterConfig(num_vcs=num_vcs, buffer_depth=buffer_depth),
+    )
+    sim = NoCSimulator(
+        net,
+        SimulationConfig(warmup_cycles=400, measure_cycles=measure,
+                         drain_cycles=4000, seed=seed),
+        SyntheticTraffic(net, injection_rate=rate, rng=seed),
+        router_factory=protected_router_factory(net),
+    )
+    return sim.run().avg_network_latency
+
+
+def run(
+    vc_counts: Optional[Sequence[int]] = None,
+    buffer_depths: Optional[Sequence[int]] = None,
+    rate: float = 0.15,
+    seed: int = 1,
+    measure: int = 2000,
+) -> ExperimentResult:
+    vc_counts = list(vc_counts or (2, 4, 8))
+    buffer_depths = list(buffer_depths or (2, 4, 8))
+    res = ExperimentResult(
+        "design_space",
+        "VC/buffer provisioning: latency x SPF x area (extension)",
+    )
+    points = {}
+    for v in vc_counts:
+        geom = RouterGeometry(num_vcs=v)
+        ovh = area_overhead(geom)
+        spf = analyze_spf(ovh, RouterConfig(num_vcs=v)).spf
+        for d in buffer_depths:
+            lat = _latency(v, d, rate, seed, measure)
+            points[(v, d)] = (lat, spf, ovh)
+            res.add(
+                f"latency @ {v} VCs, depth {d}", round(lat, 2), None,
+                unit="cycles",
+            )
+        res.add(f"SPF @ {v} VCs", round(spf, 2), None)
+        res.add(f"area overhead @ {v} VCs", round(ovh, 3), None)
+
+    # shape assertions the table must exhibit
+    vmin, vmax = min(vc_counts), max(vc_counts)
+    dmin, dmax = min(buffer_depths), max(buffer_depths)
+    res.add(
+        "deeper buffers never hurt latency",
+        all(
+            points[(v, dmax)][0] <= points[(v, dmin)][0] + 0.5
+            for v in vc_counts
+        ),
+        True,
+    )
+    res.add(
+        "more VCs raise SPF",
+        points[(vmax, dmin)][1] > points[(vmin, dmin)][1],
+        True,
+    )
+    res.add(
+        "bigger routers dilute the correction-area overhead",
+        points[(vmax, dmin)][2] < points[(vmin, dmin)][2],
+        True,
+    )
+    res.extras["points"] = points
+    return res

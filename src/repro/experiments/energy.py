@@ -1,0 +1,56 @@
+"""Experiment ``energy`` — per-flit energy, fault-free vs faulty (extension).
+
+Prices the simulator's event counters with the 45 nm per-event energy
+model: tolerated faults cost energy (secondary-path demux charges, VC
+transfer re-writes, duplicate RC computations) on top of the latency the
+paper reports.  The headline shape: the energy-per-flit overhead under
+the Figure 7/8 fault regime stays in the single-digit percent range —
+cheaper than the latency overhead, because only fault-adjacent flits pay.
+"""
+
+from __future__ import annotations
+
+from ..synthesis.energy import EnergyModel, energy_of_run
+from ..traffic.apps import app_profile
+from .latency import LatencyConfig, QUICK_CONFIG, run_app
+from .report import ExperimentResult
+
+
+def run(
+    app: str = "ocean",
+    cfg: LatencyConfig | None = None,
+    model: EnergyModel | None = None,
+) -> ExperimentResult:
+    cfg = cfg or QUICK_CONFIG
+    model = model or EnergyModel()
+    profile = app_profile(app)
+    ff = run_app(profile, cfg, faulty=False)
+    fy = run_app(profile, cfg, faulty=True)
+    e_ff = energy_of_run(ff, model)
+    e_fy = energy_of_run(fy, model)
+
+    res = ExperimentResult(
+        "energy", f"per-flit energy under faults — {app} (extension)"
+    )
+    res.add("fault-free energy/flit", round(e_ff.pj_per_flit, 3), None, unit="pJ")
+    res.add("faulty energy/flit", round(e_fy.pj_per_flit, 3), None, unit="pJ")
+    overhead = e_fy.pj_per_flit / e_ff.pj_per_flit - 1.0
+    res.add("energy/flit overhead", round(overhead, 4), None)
+    for key in ("secondary_path", "vc_transfers"):
+        res.add(
+            f"fault-only energy: {key}",
+            round(e_fy.breakdown_pj[key], 1),
+            None,
+            unit="pJ",
+            note="zero in the fault-free run" if e_ff.breakdown_pj[key] == 0 else "",
+        )
+    res.add(
+        "energy overhead below latency overhead",
+        overhead
+        <= (fy.avg_network_latency / ff.avg_network_latency - 1.0) + 0.02,
+        True,
+        note="only fault-adjacent flits pay energy; every flit queues",
+    )
+    res.extras["fault_free"] = e_ff
+    res.extras["faulty"] = e_fy
+    return res

@@ -1,0 +1,28 @@
+"""Experiment ``fig7`` — paper Figure 7: SPLASH-2 latency under faults.
+
+"Overall NoC latency has increased by 10 % ... for SPLASH-2 benchmark
+applications ... in the presence of multiple faults."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .latency import LatencyConfig, suite_experiment
+from .report import ExperimentResult
+
+PAPER_OVERALL_OVERHEAD = 0.10
+
+
+def run(
+    cfg: LatencyConfig | None = None,
+    apps: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    return suite_experiment(
+        "fig7",
+        "SPLASH-2 latency, fault-free vs faulty (Figure 7)",
+        "splash2",
+        PAPER_OVERALL_OVERHEAD,
+        cfg=cfg,
+        apps=apps,
+    )

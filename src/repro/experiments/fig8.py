@@ -1,0 +1,28 @@
+"""Experiment ``fig8`` — paper Figure 8: PARSEC latency under faults.
+
+"Overall NoC latency has increased by ... 13 % for ... PARSEC benchmark
+applications ... in the presence of multiple faults."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .latency import LatencyConfig, suite_experiment
+from .report import ExperimentResult
+
+PAPER_OVERALL_OVERHEAD = 0.13
+
+
+def run(
+    cfg: LatencyConfig | None = None,
+    apps: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    return suite_experiment(
+        "fig8",
+        "PARSEC latency, fault-free vs faulty (Figure 8)",
+        "parsec",
+        PAPER_OVERALL_OVERHEAD,
+        cfg=cfg,
+        apps=apps,
+    )

@@ -1,0 +1,205 @@
+"""Shared harness for the latency experiments (paper Section IX).
+
+The paper simulates an 8x8 mesh in GEM5/GARNET, runs SPLASH-2 and PARSEC
+traffic, and injects faults "based on a uniform random variable with a
+mean of 10 million cycles".  The reproduction runs the same 8x8 mesh on
+our simulator with the app surrogates and scales fault injection to the
+Python-sized cycle budget: all faults are injected during warmup (uniform
+random over the warmup window) so the measurement window observes the
+steady-state latency of a network *tolerating* the faults — matching what
+Figures 7/8 report.  Fault sites are drawn with ``avoid_failure=True``:
+a failed router measures availability, not latency (see
+:class:`repro.faults.injector.RandomFaultInjector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..config import NetworkConfig, RouterConfig, SimulationConfig
+from ..core.protected_router import protected_router_factory
+from ..faults.injector import RandomFaultInjector
+from ..network.simulator import NoCSimulator, SimulationResult
+from ..traffic.apps import AppProfile, make_app_traffic, suite_profiles
+from .report import ExperimentResult
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Knobs of one Figure 7/8-style run."""
+
+    width: int = 8
+    height: int = 8
+    num_vcs: int = 4
+    num_vnets: int = 2
+    buffer_depth: int = 4
+    warmup_cycles: int = 2000
+    measure_cycles: int = 8000
+    drain_cycles: int = 8000
+    num_faults: int = 224
+    rate_scale: float = 1.0
+    seed: int = 1
+
+    def network(self) -> NetworkConfig:
+        return NetworkConfig(
+            width=self.width,
+            height=self.height,
+            router=RouterConfig(
+                num_vcs=self.num_vcs,
+                num_vnets=self.num_vnets,
+                buffer_depth=self.buffer_depth,
+            ),
+        )
+
+    def simulation(self) -> SimulationConfig:
+        return SimulationConfig(
+            warmup_cycles=self.warmup_cycles,
+            measure_cycles=self.measure_cycles,
+            drain_cycles=self.drain_cycles,
+            seed=self.seed,
+            watchdog_cycles=max(10_000, self.measure_cycles),
+        )
+
+
+#: Reduced configuration for tests and quick benches (4x4, ~2 tolerated
+#: faults per router — the same density as the paper-scale run).
+QUICK_CONFIG = LatencyConfig(
+    width=4,
+    height=4,
+    warmup_cycles=500,
+    measure_cycles=2500,
+    drain_cycles=3000,
+    num_faults=32,
+)
+
+
+@dataclass
+class AppLatency:
+    """Fault-free vs faulty latency of one application."""
+
+    app: str
+    fault_free: float
+    faulty: float
+    fault_free_result: SimulationResult = field(repr=False, default=None)
+    faulty_result: SimulationResult = field(repr=False, default=None)
+
+    @property
+    def overhead(self) -> float:
+        """Relative latency increase caused by the tolerated faults."""
+        return self.faulty / self.fault_free - 1.0
+
+
+def run_app(
+    profile: AppProfile,
+    cfg: LatencyConfig,
+    faulty: bool,
+    seed_offset: int = 0,
+) -> SimulationResult:
+    """One simulation of one application, with or without faults."""
+    net = cfg.network()
+    seed = cfg.seed + seed_offset
+    traffic = make_app_traffic(net, profile, rng=seed, rate_scale=cfg.rate_scale)
+    schedule = None
+    if faulty:
+        # all faults land during warmup so the measurement window sees the
+        # steady state (uniform over [0, warmup), paper-style uniform gaps)
+        schedule = RandomFaultInjector(
+            net.router,
+            net.num_nodes,
+            mean_interval=max(1.0, cfg.warmup_cycles / (2 * cfg.num_faults)),
+            num_faults=cfg.num_faults,
+            rng=seed + 7919,
+            first_fault_at=0,
+            avoid_failure=True,
+        )
+    sim = NoCSimulator(
+        net,
+        cfg.simulation(),
+        traffic,
+        router_factory=protected_router_factory(net),
+        fault_schedule=schedule,
+    )
+    result = sim.run()
+    if result.blocked:
+        raise RuntimeError(
+            f"{profile.name}: network blocked — fault schedule should have "
+            "been tolerable"
+        )
+    return result
+
+
+def run_app_pair(
+    profile: AppProfile, cfg: LatencyConfig
+) -> AppLatency:
+    """Fault-free and faulty runs of one app with identical traffic seed."""
+    ff = run_app(profile, cfg, faulty=False)
+    fy = run_app(profile, cfg, faulty=True)
+    return AppLatency(
+        app=profile.name,
+        fault_free=ff.avg_network_latency,
+        faulty=fy.avg_network_latency,
+        fault_free_result=ff,
+        faulty_result=fy,
+    )
+
+
+def run_suite(
+    suite: str,
+    cfg: LatencyConfig | None = None,
+    apps: Optional[Sequence[str]] = None,
+) -> list[AppLatency]:
+    """All applications of a suite (optionally a named subset)."""
+    cfg = cfg or LatencyConfig()
+    profiles = suite_profiles(suite)
+    if apps is not None:
+        wanted = set(apps)
+        profiles = tuple(p for p in profiles if p.name in wanted)
+        missing = wanted - {p.name for p in profiles}
+        if missing:
+            raise ValueError(f"unknown apps for {suite}: {sorted(missing)}")
+    return [run_app_pair(p, cfg) for p in profiles]
+
+
+def overall_overhead(results: Sequence[AppLatency]) -> float:
+    """Suite-level latency increase: mean of per-app overheads."""
+    if not results:
+        raise ValueError("no app results")
+    return sum(r.overhead for r in results) / len(results)
+
+
+def suite_experiment(
+    experiment: str,
+    title: str,
+    suite: str,
+    paper_overall_overhead: float,
+    cfg: LatencyConfig | None = None,
+    apps: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Shared Figure 7/8 driver producing an :class:`ExperimentResult`."""
+    cfg = cfg or LatencyConfig()
+    results = run_suite(suite, cfg, apps=apps)
+    res = ExperimentResult(experiment, title)
+    for r in results:
+        res.add(
+            f"{r.app}: fault-free latency", round(r.fault_free, 2), None,
+            unit="cycles",
+        )
+        res.add(
+            f"{r.app}: faulty latency", round(r.faulty, 2), None,
+            unit="cycles",
+        )
+        res.add(f"{r.app}: overhead", round(r.overhead, 3), None)
+    res.add(
+        "overall latency increase",
+        round(overall_overhead(results), 3),
+        paper_overall_overhead,
+        note="paper reports bar charts; the overall percentage is the "
+        "stated headline",
+    )
+    res.extras["results"] = results
+    res.extras["config"] = cfg
+    from .charts import latency_figure
+
+    res.extras["chart"] = latency_figure(results, title)
+    return res

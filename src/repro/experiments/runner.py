@@ -1,0 +1,126 @@
+"""Experiment CLI: ``python -m repro.experiments <name> [--quick]``.
+
+``all`` runs everything (the latency figures take minutes at paper scale;
+``--quick`` switches them to a reduced 4x4 configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    area_power,
+    critical_path,
+    design_space,
+    detection_latency,
+    energy,
+    fault_sweep,
+    fig7,
+    fig8,
+    load_latency,
+    mttf,
+    mttf_sensitivity,
+    network_reliability,
+    reliability_curves,
+    spf_sweep,
+    table1,
+    table2,
+    table3,
+)
+from .latency import LatencyConfig, QUICK_CONFIG
+from .report import ExperimentResult
+
+
+def _fig7(quick: bool) -> ExperimentResult:
+    return fig7.run(cfg=QUICK_CONFIG if quick else None)
+
+
+def _fig8(quick: bool) -> ExperimentResult:
+    return fig8.run(cfg=QUICK_CONFIG if quick else None)
+
+
+def _load_latency(quick: bool) -> ExperimentResult:
+    if quick:
+        return load_latency.run(rates=(0.04, 0.12), measure=1500)
+    return load_latency.run()
+
+
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "table1": lambda quick: table1.run(),
+    "table2": lambda quick: table2.run(),
+    "mttf": lambda quick: mttf.run(mc_samples=20_000 if quick else 100_000),
+    "table3": lambda quick: table3.run(mc_trials=200 if quick else 1000),
+    "spf_sweep": lambda quick: spf_sweep.run(),
+    "area_power": lambda quick: area_power.run(),
+    "critical_path": lambda quick: critical_path.run(),
+    "fig7": _fig7,
+    "fig8": _fig8,
+    # extensions beyond the paper's artefacts
+    "load_latency": _load_latency,
+    "network_reliability": lambda quick: network_reliability.run(
+        trials=60 if quick else 300
+    ),
+    "reliability_curves": lambda quick: reliability_curves.run(),
+    "energy": lambda quick: energy.run(
+        cfg=QUICK_CONFIG if quick else LatencyConfig()
+    ),
+    "detection_latency": lambda quick: detection_latency.run(
+        measure_cycles=1500 if quick else 4000
+    ),
+    "fault_sweep": lambda quick: fault_sweep.run(
+        fault_counts=(0, 8, 24) if quick else None
+    ),
+    "design_space": lambda quick: design_space.run(
+        vc_counts=(2, 4) if quick else None,
+        buffer_depths=(2, 4) if quick else None,
+        measure=1000 if quick else 2000,
+    ),
+    "mttf_sensitivity": lambda quick: mttf_sensitivity.run(),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced configuration for the simulation-heavy experiments",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, quick=args.quick)
+        print(result.format())
+        chart = result.extras.get("chart")
+        if chart:
+            print()
+            print(chart)
+        print(f"  [{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

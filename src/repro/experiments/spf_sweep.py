@@ -1,0 +1,46 @@
+"""Experiment ``spf_sweep`` — Section VIII-E sensitivity: SPF vs VC count.
+
+"This SPF value increases further beyond 11 if the number of VCs per
+input is increased beyond 4.  If the number of VCs per input port is
+decreased to 2, the SPF value is 7."
+"""
+
+from __future__ import annotations
+
+from ..reliability.spf import spf_vs_vc_count
+from ..synthesis.area import area_overhead_vs_vcs
+from .report import ExperimentResult
+
+PAPER_SPF = {2: 7.0, 4: 11.4}
+
+
+def run(vc_counts: list[int] | None = None) -> ExperimentResult:
+    vc_counts = vc_counts or [2, 3, 4, 6, 8]
+    overheads = area_overhead_vs_vcs(vc_counts)
+    sweep = spf_vs_vc_count(overheads)
+    res = ExperimentResult(
+        "spf_sweep", "SPF vs number of VCs per input port (Section VIII-E)"
+    )
+    for v, r in sweep.items():
+        res.add(
+            f"SPF @ {v} VCs (area ovh {overheads[v]:.0%})",
+            round(r.spf, 2),
+            PAPER_SPF.get(v),
+        )
+    spfs = [sweep[v].spf for v in sorted(sweep)]
+    res.add(
+        "SPF monotonically increases with VCs",
+        all(a < b for a, b in zip(spfs, spfs[1:])),
+        True,
+    )
+    if 4 in sweep:
+        above = [v for v in sweep if v > 4]
+        if above:
+            res.add(
+                "SPF beyond 4 VCs exceeds the 4-VC value",
+                all(sweep[v].spf > sweep[4].spf for v in above),
+                True,
+            )
+    res.extras["sweep"] = sweep
+    res.extras["overheads"] = overheads
+    return res

@@ -1,0 +1,30 @@
+"""Fault model: sites, state, injection schedules, detection, transients."""
+
+from .detection import DetectionEvent, NetworkDetector, OnlineDetector
+from .injector import (
+    NullFaultInjector,
+    RandomFaultInjector,
+    ScheduledFaultInjector,
+)
+from .sites import FaultSite, FaultUnit, RouterFaultState, enumerate_sites
+from .transient import (
+    TransientFault,
+    TransientFaultInjector,
+    random_transients,
+)
+
+__all__ = [
+    "DetectionEvent",
+    "FaultSite",
+    "FaultUnit",
+    "NetworkDetector",
+    "NullFaultInjector",
+    "OnlineDetector",
+    "RandomFaultInjector",
+    "RouterFaultState",
+    "ScheduledFaultInjector",
+    "TransientFault",
+    "TransientFaultInjector",
+    "enumerate_sites",
+    "random_transients",
+]

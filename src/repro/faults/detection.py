@@ -1,0 +1,153 @@
+"""Idealised online fault detection (NoCAlert [18] stand-in).
+
+The paper explicitly scopes detection out: "we focus on fault tolerance
+and not on fault detection.  We assume that faults can be detected by
+using one of the many existing fault detection mechanisms [18]" — and
+charges a +3 % area / +1 % power surcharge for it (Section VI-A).
+
+This module provides the behavioural counterpart of that assumption: an
+online checker that watches a router's pipeline each cycle, evaluates
+NoCAlert-style *functional invariant assertions*, and reports when an
+injected fault becomes *observable* (its component mis-serves actual
+traffic).  It is used by the detection-latency study and by tests that
+confirm tolerated faults are eventually exercised — it is **not** in the
+latency-critical simulation path.
+
+Detected events record the detection latency in cycles between injection
+and first observation, the distribution NoCAlert-class mechanisms are
+evaluated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .sites import FaultSite, FaultUnit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..router.router import BaseRouter
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One fault's transition from latent to observed."""
+
+    site: FaultSite
+    injected_at: int
+    detected_at: int
+
+    @property
+    def detection_latency(self) -> int:
+        return self.detected_at - self.injected_at
+
+
+@dataclass
+class _Watch:
+    site: FaultSite
+    injected_at: int
+    baseline: int  # observation counter value at injection time
+
+
+class OnlineDetector:
+    """Watches one router and timestamps when each fault is first exercised.
+
+    A permanent fault is *observable* the first time its component would
+    have served traffic — i.e. when the corresponding fault-tolerance
+    mechanism fires (duplicate RC lookup, borrowed arbiter, bypass grant,
+    secondary-path crossing) or, for stage-2 faults, when a retry is
+    taken.  The detector polls the router's mechanism counters, which is
+    exactly the information a NoCAlert-style invariant checker derives
+    from its assertion network.
+    """
+
+    def __init__(self, router: "BaseRouter") -> None:
+        self.router = router
+        self._watches: list[_Watch] = []
+        self.events: list[DetectionEvent] = []
+
+    # which stats counter observes each faultable unit
+    _COUNTER = {
+        FaultUnit.RC_PRIMARY: "rc_duplicate_computations",
+        FaultUnit.VA1_ARBITER_SET: "va_borrowed_grants",
+        FaultUnit.VA2_ARBITER: "va_stage2_fault_retries",
+        FaultUnit.SA1_ARBITER: "sa_bypass_grants",
+        FaultUnit.SA2_ARBITER: "secondary_path_grants",
+        FaultUnit.XB_MUX: "secondary_path_grants",
+    }
+
+    def observable(self, site: FaultSite) -> bool:
+        """Whether this detector can ever observe the site.
+
+        Correction-circuitry sites (duplicate RC, bypass, secondary path)
+        are only exercised once the *primary* resource has also failed;
+        they stay latent under a single fault — the classic latent-spare
+        detection problem NoCAlert documents.
+        """
+        return site.unit in self._COUNTER
+
+    def watch(self, site: FaultSite, cycle: int) -> bool:
+        """Start watching a just-injected fault.  Returns ``observable``."""
+        if not self.observable(site):
+            return False
+        counter = self._COUNTER[site.unit]
+        self._watches.append(
+            _Watch(site, cycle, getattr(self.router.stats, counter))
+        )
+        return True
+
+    def poll(self, cycle: int) -> list[DetectionEvent]:
+        """Check all watched faults; returns newly-detected events."""
+        new: list[DetectionEvent] = []
+        remaining: list[_Watch] = []
+        for w in self._watches:
+            counter = self._COUNTER[w.site.unit]
+            if getattr(self.router.stats, counter) > w.baseline:
+                ev = DetectionEvent(w.site, w.injected_at, cycle)
+                self.events.append(ev)
+                new.append(ev)
+            else:
+                remaining.append(w)
+        self._watches = remaining
+        return new
+
+    @property
+    def pending(self) -> int:
+        """Faults injected but not yet observed (latent)."""
+        return len(self._watches)
+
+    def mean_detection_latency(self) -> Optional[float]:
+        if not self.events:
+            return None
+        return sum(e.detection_latency for e in self.events) / len(self.events)
+
+
+class NetworkDetector:
+    """One :class:`OnlineDetector` per router, with fleet-wide polling."""
+
+    def __init__(self, routers: list["BaseRouter"]) -> None:
+        self.detectors = [OnlineDetector(r) for r in routers]
+
+    def watch(self, site: FaultSite, cycle: int) -> bool:
+        return self.detectors[site.router].watch(site, cycle)
+
+    def poll(self, cycle: int) -> list[DetectionEvent]:
+        out: list[DetectionEvent] = []
+        for d in self.detectors:
+            if d._watches:
+                out.extend(d.poll(cycle))
+        return out
+
+    @property
+    def events(self) -> list[DetectionEvent]:
+        return [e for d in self.detectors for e in d.events]
+
+    @property
+    def pending(self) -> int:
+        return sum(d.pending for d in self.detectors)
+
+    def mean_detection_latency(self) -> Optional[float]:
+        events = self.events
+        if not events:
+            return None
+        return sum(e.detection_latency for e in events) / len(events)

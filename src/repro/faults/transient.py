@@ -1,0 +1,133 @@
+"""Transient-fault extension.
+
+The paper's Introduction distinguishes permanent from transient faults
+("a transient fault affects the operation of a circuit for a smaller
+period of time, typically in the order of one clock cycle") but its
+design targets permanent faults only.  This extension models transients
+as *self-healing* fault injections: a site goes faulty for a bounded
+number of cycles and is then healed.  While active, the protected
+router's mechanisms absorb it exactly like an early-life permanent
+fault; after healing, the router returns to its pristine datapath.
+
+Used by ablation benches and robustness property tests; not part of the
+paper's headline reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..config import RouterConfig
+from .sites import FaultSite, enumerate_sites
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """One transient upset: ``site`` is faulty during [start, start+duration)."""
+
+    cycle: int
+    site: FaultSite
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("transient duration must be >= 1 cycle")
+        if self.cycle < 0:
+            raise ValueError("cycle must be >= 0")
+
+    @property
+    def heal_cycle(self) -> int:
+        return self.cycle + self.duration
+
+
+class TransientFaultInjector:
+    """Fault schedule that injects *and later heals* each site.
+
+    Satisfies the simulator's ``FaultSchedule`` protocol for injection;
+    healing requires cooperation, so the simulator-facing integration is
+    :meth:`attach`: it wraps the injector around a simulator and performs
+    heals through the router's ``heal_fault``.
+
+    Simplification: overlapping transients on the *same* site merge (the
+    site heals at the later heal time) — the fault state is boolean.
+    """
+
+    def __init__(self, transients: Iterable[TransientFault]) -> None:
+        items = sorted(transients, key=lambda t: t.cycle)
+        self._inject_q = list(items)
+        self._inject_i = 0
+        # heal events: (cycle, site); kept sorted lazily
+        heals: dict[tuple, int] = {}
+        for t in items:
+            key = (t.site.router, t.site.unit, t.site.port, t.site.vc)
+            heals[key] = max(heals.get(key, 0), t.heal_cycle)
+        self._heals = sorted(
+            ((cycle, key) for key, cycle in heals.items()), key=lambda x: x[0]
+        )
+        self._heal_i = 0
+        self._site_by_key = {
+            (t.site.router, t.site.unit, t.site.port, t.site.vc): t.site
+            for t in items
+        }
+
+    # -- FaultSchedule protocol (injection half) -------------------------
+    def due(self, cycle: int) -> Iterator[FaultSite]:
+        while (
+            self._inject_i < len(self._inject_q)
+            and self._inject_q[self._inject_i].cycle <= cycle
+        ):
+            yield self._inject_q[self._inject_i].site
+            self._inject_i += 1
+
+    # -- healing half ------------------------------------------------------
+    def heals_due(self, cycle: int) -> Iterator[FaultSite]:
+        while self._heal_i < len(self._heals) and self._heals[self._heal_i][0] <= cycle:
+            _, key = self._heals[self._heal_i]
+            yield self._site_by_key[key]
+            self._heal_i += 1
+
+    def attach(self, sim) -> None:
+        """Wrap a simulator's step so heals are applied each cycle."""
+        original = sim._step
+
+        def stepped(cycle: int, inject_traffic: bool) -> None:
+            for site in self.heals_due(cycle):
+                sim.routers[site.router].heal_fault(site)
+            original(cycle, inject_traffic)
+
+        sim._step = stepped
+
+    @property
+    def remaining_injections(self) -> int:
+        return len(self._inject_q) - self._inject_i
+
+
+def random_transients(
+    config: RouterConfig,
+    num_routers: int,
+    rate_per_cycle: float,
+    cycles: int,
+    duration: int = 1,
+    rng: np.random.Generator | int | None = None,
+    protected: bool = True,
+) -> list[TransientFault]:
+    """Poisson-ish transient schedule: each cycle, with probability
+    ``rate_per_cycle``, one uniformly-chosen site is upset for
+    ``duration`` cycles."""
+    if not 0 <= rate_per_cycle <= 1:
+        raise ValueError("rate must be a per-cycle probability")
+    if cycles < 1:
+        raise ValueError("cycles must be >= 1")
+    rng = np.random.default_rng(rng)
+    pool: list[FaultSite] = []
+    for r in range(num_routers):
+        pool.extend(enumerate_sites(config, router=r, protected=protected))
+    hits = rng.random(cycles) < rate_per_cycle
+    out = []
+    for cycle in np.flatnonzero(hits):
+        site = pool[int(rng.integers(len(pool)))]
+        out.append(TransientFault(int(cycle), site, duration))
+    return out

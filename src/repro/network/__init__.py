@@ -1,0 +1,22 @@
+"""Cycle-accurate NoC fabric simulator (GEM5/GARNET substitute)."""
+
+from .nic import NetworkInterface
+from .simulator import (
+    EventScheduler,
+    NoCSimulator,
+    SimulationResult,
+    baseline_router_factory,
+)
+from .stats import LatencySample, NetworkStats
+from .topology import Topology
+
+__all__ = [
+    "EventScheduler",
+    "LatencySample",
+    "NetworkInterface",
+    "NetworkStats",
+    "NoCSimulator",
+    "SimulationResult",
+    "Topology",
+    "baseline_router_factory",
+]

@@ -1,0 +1,174 @@
+"""Network interface controllers (NICs).
+
+Each node's NIC owns the boundary between the core and the fabric:
+
+* **Injection** — packets from the traffic generator wait in per-vnet
+  source queues; the NIC performs NIC-side VC allocation on the router's
+  *local input port* (one packet per VC at a time, reallocation on tail),
+  respects credits, and injects at most one flit per cycle (the local link
+  is one flit wide).
+* **Ejection** — flits arriving on the router's local output port are
+  consumed immediately (cores always sink traffic — this guarantees
+  consumption and, with XY routing, freedom from network deadlock), the
+  buffer credit is returned, and completed packets are reported to the
+  statistics module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from ..config import PORT_LOCAL, RouterConfig
+from ..router.flit import Flit, Packet
+from .stats import LatencySample, NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..router.router import BaseRouter
+    from .simulator import EventScheduler
+
+
+class _ActiveInjection:
+    """A packet mid-injection on one wire VC."""
+
+    __slots__ = ("flits", "next_idx", "wire_vc")
+
+    def __init__(self, flits: list[Flit], wire_vc: int) -> None:
+        self.flits = flits
+        self.next_idx = 0
+        self.wire_vc = wire_vc
+
+    @property
+    def done(self) -> bool:
+        return self.next_idx >= len(self.flits)
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint attached to one router's local port."""
+
+    def __init__(
+        self,
+        node: int,
+        router: "BaseRouter",
+        config: RouterConfig,
+        stats: NetworkStats,
+    ) -> None:
+        self.node = node
+        self.router = router
+        self.config = config
+        self.stats = stats
+        V = config.num_vcs
+        #: per-vnet FIFO of packets waiting to start injection
+        self.source_queues: list[Deque[Packet]] = [
+            deque() for _ in range(config.num_vnets)
+        ]
+        #: NIC-side credit count per wire VC of the router's local input port
+        self.credits = [config.buffer_depth] * V
+        #: wire VC ownership (packet id) for in-progress injections
+        self.allocated: list[Optional[int]] = [None] * V
+        #: active injection per vnet (at most one packet per vnet in flight
+        #: from the source queue; queued packets follow on)
+        self.active: list[Optional[_ActiveInjection]] = [None] * config.num_vnets
+        self._vnet_rr = 0
+        #: partial ejections: packet id -> head flit info
+        self._eject_heads: Dict[int, Flit] = {}
+
+    # ------------------------------------------------------------------
+    # injection side
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a packet from the traffic generator."""
+        if packet.src != self.node:
+            raise ValueError(
+                f"packet sourced at {packet.src} enqueued at NIC {self.node}"
+            )
+        if not (0 <= packet.vnet < self.config.num_vnets):
+            raise ValueError(f"packet vnet {packet.vnet} out of range")
+        self.source_queues[packet.vnet].append(packet)
+        self.stats.packets_created += 1
+
+    @property
+    def queued_packets(self) -> int:
+        """Packets waiting or mid-injection (drain bookkeeping)."""
+        waiting = sum(len(q) for q in self.source_queues)
+        active = sum(1 for a in self.active if a is not None and not a.done)
+        return waiting + active
+
+    def _try_start(self, vnet: int, cycle: int) -> None:
+        """NIC-side VC allocation: bind the next queued packet to a free VC."""
+        queue = self.source_queues[vnet]
+        if not queue:
+            return
+        for d in self.config.vcs_of_vnet(vnet):
+            if self.allocated[d] is None:
+                packet = queue.popleft()
+                self.allocated[d] = packet.packet_id
+                self.active[vnet] = _ActiveInjection(list(packet.flits()), d)
+                self.stats.packets_injected += 1
+                return
+
+    def step(self, cycle: int) -> None:
+        """Inject up to one flit this cycle, round-robin across vnets."""
+        n_vnets = self.config.num_vnets
+        for i in range(n_vnets):
+            vnet = (self._vnet_rr + i) % n_vnets
+            if self.active[vnet] is None:
+                self._try_start(vnet, cycle)
+            inj = self.active[vnet]
+            if inj is None:
+                continue
+            d = inj.wire_vc
+            if self.credits[d] <= 0:
+                continue
+            flit = inj.flits[inj.next_idx]
+            inj.next_idx += 1
+            self.credits[d] -= 1
+            flit.injection_cycle = cycle
+            self.router.receive_flit(PORT_LOCAL, d, flit, cycle)
+            self.stats.flits_injected += 1
+            if flit.is_tail:
+                # reallocation on tail: the wire VC may host the next packet
+                self.allocated[d] = None
+                self.active[vnet] = None
+            self._vnet_rr = (vnet + 1) % n_vnets
+            return  # local link bandwidth: one flit per cycle
+
+    def receive_credit(self, wire_vc: int) -> None:
+        """The router freed a slot of our local-input-port VC."""
+        self.credits[wire_vc] += 1
+        if self.credits[wire_vc] > self.config.buffer_depth:
+            raise AssertionError(
+                f"NIC {self.node} credit overflow on VC {wire_vc}"
+            )
+
+    # ------------------------------------------------------------------
+    # ejection side
+    # ------------------------------------------------------------------
+    def eject(self, flit: Flit, wire_vc: int, cycle: int, sched: "EventScheduler") -> None:
+        """Consume a flit arriving from the router's local output port."""
+        if flit.dest != self.node:
+            raise AssertionError(
+                f"flit for node {flit.dest} ejected at node {self.node}: "
+                "misroute"
+            )
+        flit.ejection_cycle = cycle
+        self.stats.flits_ejected += 1
+        # consuming the flit frees the NIC-side buffer slot -> credit back
+        sched.return_nic_credit(self.node, wire_vc)
+        if flit.is_head:
+            self._eject_heads[flit.packet_id] = flit
+        if flit.is_tail:
+            head = self._eject_heads.pop(flit.packet_id, flit)
+            self.stats.record_packet(
+                LatencySample(
+                    packet_id=flit.packet_id,
+                    src=flit.src,
+                    dest=flit.dest,
+                    vnet=flit.vnet,
+                    size_flits=flit.packet_len,
+                    creation_cycle=head.creation_cycle,
+                    injection_cycle=head.injection_cycle,
+                    ejection_cycle=cycle,
+                    hops=flit.hops,
+                )
+            )

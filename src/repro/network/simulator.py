@@ -1,0 +1,339 @@
+"""The cycle-accurate NoC simulator (GEM5/GARNET substitute).
+
+Per cycle, the simulator executes — for *all* routers before moving on —
+
+1. fault injection due this cycle,
+2. **XB**: crossbar traversal of last cycle's SA winners (flits leave onto
+   links, credits return upstream),
+3. **SA**: switch allocation,
+4. **VA**: virtual-channel allocation,
+5. **RC**: routing computation,
+6. link/credit event delivery (flits arriving after link traversal),
+7. traffic generation and NIC injection.
+
+Executing the pipeline phases in reverse order makes each flit advance at
+most one stage per cycle, which realises the paper's 4-stage pipeline
+(Figure 2) plus a one-cycle link traversal: per-hop head latency is
+RC+VA+SA+XB+LT = 5 cycles at zero load.
+
+The simulator is deliberately plain Python tuned the way the hpc-parallel
+guides recommend: legible first, with cheap activity checks (idle routers
+cost one attribute test per phase) rather than clever machinery; bulk
+randomness (traffic generation, fault schedules) is vectorised with NumPy
+in the traffic/fault modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Protocol, Tuple
+
+from ..config import NetworkConfig, PORT_LOCAL, SimulationConfig
+from ..router.flit import Packet
+from ..router.router import BaseRouter, BaselineRouter, RouterStats
+from ..router.routing import RoutingFunction, make_routing
+from .nic import NetworkInterface
+from .stats import NetworkStats
+from .topology import Topology
+
+
+class TrafficSource(Protocol):
+    """Anything that emits packets: see :mod:`repro.traffic.generator`."""
+
+    def generate(self, cycle: int) -> Iterable[Packet]:
+        """Packets created at ``cycle`` (their ``src`` selects the NIC)."""
+        ...
+
+
+class FaultSchedule(Protocol):
+    """Anything that injects faults: see :mod:`repro.faults.injector`."""
+
+    def due(self, cycle: int) -> Iterable:
+        """FaultSites to inject at ``cycle``."""
+        ...
+
+
+RouterFactory = Callable[[int, RoutingFunction], BaseRouter]
+
+
+def baseline_router_factory(config: NetworkConfig) -> RouterFactory:
+    """Factory producing unprotected baseline routers."""
+
+    def make(node: int, routing: RoutingFunction) -> BaseRouter:
+        return BaselineRouter(node, config.router, routing)
+
+    return make
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`NoCSimulator.run`."""
+
+    stats: NetworkStats
+    cycles: int
+    blocked: bool
+    drained: bool
+    router_stats: RouterStats
+    faults_injected: int
+
+    @property
+    def avg_network_latency(self) -> float:
+        return self.stats.avg_network_latency
+
+    @property
+    def avg_total_latency(self) -> float:
+        return self.stats.avg_total_latency
+
+
+class EventScheduler:
+    """Link/credit event queue keyed by delivery cycle."""
+
+    def __init__(self, sim: "NoCSimulator") -> None:
+        self._sim = sim
+        self._events: dict[int, list[tuple]] = {}
+        self.cycle = 0
+
+    # -- called by routers during the XB phase -----------------------------
+    def deliver_flit(self, src_node: int, out_port: int, out_vc: int, flit) -> None:
+        """Put a flit on the link leaving (src_node, out_port)."""
+        sim = self._sim
+        when = self.cycle + sim.config.link_latency
+        if out_port == PORT_LOCAL:
+            self._events.setdefault(when, []).append(
+                ("eject", src_node, out_vc, flit)
+            )
+            return
+        link = sim.topology.links.get((src_node, out_port))
+        if link is None:
+            raise AssertionError(
+                f"router {src_node} sent a flit off the mesh edge "
+                f"(port {out_port}): routing bug"
+            )
+        dst, dst_port = link
+        self._events.setdefault(when, []).append(
+            ("flit", dst, dst_port, out_vc, flit)
+        )
+
+    def return_credit(self, node: int, in_port: int, wire_vc: int) -> None:
+        """A slot of (node, in_port, wire_vc) freed; credit the upstream."""
+        sim = self._sim
+        when = self.cycle + sim.config.credit_latency
+        if in_port == PORT_LOCAL:
+            self._events.setdefault(when, []).append(("nic_credit", node, wire_vc))
+            return
+        up = sim.topology.upstream(node, in_port)
+        if up is None:
+            raise AssertionError(
+                f"credit from unconnected port {in_port} of router {node}"
+            )
+        src_node, src_out = up
+        self._events.setdefault(when, []).append(
+            ("credit", src_node, src_out, wire_vc)
+        )
+
+    def return_nic_credit(self, node: int, wire_vc: int) -> None:
+        """NIC consumed a flit; credit the router's local output port."""
+        when = self.cycle + self._sim.config.credit_latency
+        self._events.setdefault(when, []).append(
+            ("out_credit", node, wire_vc)
+        )
+
+    # -- called by the simulator's link phase -------------------------------
+    def dispatch(self, cycle: int) -> int:
+        """Deliver all events due at ``cycle``; returns #flit deliveries."""
+        events = self._events.pop(cycle, None)
+        if not events:
+            return 0
+        sim = self._sim
+        flits = 0
+        for ev in events:
+            kind = ev[0]
+            if kind == "flit":
+                _, dst, dst_port, vc, flit = ev
+                sim.routers[dst].receive_flit(dst_port, vc, flit, cycle)
+                flits += 1
+            elif kind == "eject":
+                _, node, vc, flit = ev
+                if sim.on_eject is not None:
+                    sim.on_eject(flit, cycle)
+                sim.nics[node].eject(flit, vc, cycle, self)
+                sim.flits_in_network -= 1
+                sim._last_progress = cycle
+                flits += 1
+            elif kind == "credit":
+                _, node, out_port, vc = ev
+                sim.routers[node].receive_credit(out_port, vc)
+            elif kind == "nic_credit":
+                _, node, vc = ev
+                sim.nics[node].receive_credit(vc)
+            elif kind == "out_credit":
+                _, node, vc = ev
+                sim.routers[node].receive_credit(PORT_LOCAL, vc)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event {kind}")
+        return flits
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(v) for v in self._events.values())
+
+    def pending_flits(self) -> int:
+        """Flits currently in flight on links (incl. NIC ejections)."""
+        return sum(
+            1
+            for evs in self._events.values()
+            for ev in evs
+            if ev[0] in ("flit", "eject")
+        )
+
+
+class NoCSimulator:
+    """Builds the fabric and runs the cycle loop."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        sim_config: SimulationConfig,
+        traffic: TrafficSource,
+        router_factory: Optional[RouterFactory] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
+        routing_kind: str = "xy",
+        keep_samples: bool = False,
+        on_eject: Optional[Callable] = None,
+    ) -> None:
+        self.config = config
+        self.sim_config = sim_config
+        self.traffic = traffic
+        self.topology = Topology(config)
+        self.routing = make_routing(config, routing_kind)
+        factory = router_factory or baseline_router_factory(config)
+        self.routers: list[BaseRouter] = [
+            factory(node, self.routing) for node in range(config.num_nodes)
+        ]
+        for (node, port), _ in self.topology.links.items():
+            self.routers[node].out_ports[port].connected = True
+        self.stats = NetworkStats(keep_samples=keep_samples)
+        self.nics = [
+            NetworkInterface(n, self.routers[n], config.router, self.stats)
+            for n in range(config.num_nodes)
+        ]
+        self.scheduler = EventScheduler(self)
+        self.fault_schedule = fault_schedule
+        #: observability hook: called as ``on_eject(flit, cycle)`` for every
+        #: flit consumed at a destination NIC (used e.g. by the ECC
+        #: datapath study to decode payload codewords)
+        self.on_eject = on_eject
+        self.flits_in_network = 0
+        self.faults_injected = 0
+        self.cycle = 0
+        self._last_progress = 0
+        self.blocked = False
+
+    # ------------------------------------------------------------------
+    def _inject_faults(self, cycle: int) -> None:
+        if self.fault_schedule is None:
+            return
+        for site in self.fault_schedule.due(cycle):
+            if self.routers[site.router].inject_fault(site):
+                self.faults_injected += 1
+
+    def _step(self, cycle: int, inject_traffic: bool) -> None:
+        self.scheduler.cycle = cycle
+        self._inject_faults(cycle)
+
+        routers = self.routers
+        sched = self.scheduler
+        for r in routers:
+            if r._xb_queue:
+                r.xb_phase(sched, cycle)
+        for r in routers:
+            r.sa_phase(cycle)
+        for r in routers:
+            r.va_phase(cycle)
+        for r in routers:
+            r.rc_phase(cycle)
+
+        sched.dispatch(cycle)
+
+        if inject_traffic:
+            for packet in self.traffic.generate(cycle):
+                self.nics[packet.src].enqueue(packet)
+        for nic in self.nics:
+            before = self.stats.flits_injected
+            nic.step(cycle)
+            self.flits_in_network += self.stats.flits_injected - before
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Warmup + measurement + drain, with watchdog protection."""
+        sc = self.sim_config
+        self.stats.set_window(sc.warmup_cycles, sc.warmup_cycles + sc.measure_cycles)
+        inject_until = sc.warmup_cycles + sc.measure_cycles
+        cycle = self.cycle
+        self._last_progress = cycle
+
+        # warmup + measurement
+        while cycle < inject_until:
+            self._step(cycle, inject_traffic=True)
+            cycle += 1
+            if self._watchdog_tripped(cycle):
+                break
+
+        # drain
+        drained = False
+        if not self.blocked:
+            drain_deadline = cycle + sc.drain_cycles
+            while cycle < drain_deadline:
+                if self.flits_in_network == 0 and not any(
+                    nic.queued_packets for nic in self.nics
+                ):
+                    drained = True
+                    break
+                self._step(cycle, inject_traffic=False)
+                cycle += 1
+                if self._watchdog_tripped(cycle):
+                    break
+            else:
+                drained = self.flits_in_network == 0
+
+        self.cycle = cycle
+        return SimulationResult(
+            stats=self.stats,
+            cycles=cycle,
+            blocked=self.blocked,
+            drained=drained,
+            router_stats=self.aggregate_router_stats(),
+            faults_injected=self.faults_injected,
+        )
+
+    def _watchdog_tripped(self, cycle: int) -> bool:
+        if (
+            self.flits_in_network > 0
+            and cycle - self._last_progress > self.sim_config.watchdog_cycles
+        ):
+            self.blocked = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def aggregate_router_stats(self) -> RouterStats:
+        """Sum of all per-router counters."""
+        total = RouterStats()
+        for r in self.routers:
+            for f in RouterStats.__dataclass_fields__:
+                setattr(total, f, getattr(total, f) + getattr(r.stats, f))
+        return total
+
+    def check_invariants(self) -> None:
+        """Structural invariants across the fabric (property tests)."""
+        for r in self.routers:
+            r.check_invariants()
+        buffered = sum(r.buffered_flits() for r in self.routers)
+        in_xb = sum(len(r._xb_queue) for r in self.routers)
+        # flits are in buffers, granted for XB (still buffered), or on links
+        assert buffered + self.scheduler.pending_flits() == self.flits_in_network, (
+            f"flit conservation violated: buffered={buffered} "
+            f"on_links={self.scheduler.pending_flits()} "
+            f"tracked={self.flits_in_network}"
+        )
+        del in_xb

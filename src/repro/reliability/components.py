@@ -1,0 +1,157 @@
+"""Gate/transistor inventories of the router's fundamental components.
+
+The paper's FIT methodology (Section VII-A) is: per-FET FIT from FORC,
+times the transistor count of a gate, summed over gates (SOFR).  Table I
+prints per-component FIT values at the paper's operating point; dividing
+them by the per-FET FIT (0.1) yields each component's effective transistor
+count:
+
+=====================  ====  ===========================================
+Component              FIT   transistors (FIT / 0.1)
+=====================  ====  ===========================================
+6-bit comparator       11.7  117
+4:1 arbiter            7.4   74    (~18.5 per request line)
+20:1 arbiter           36.7  367
+5:1 arbiter            9.3   93
+4:1 mux (1-bit)        4.8   48
+5:1 mux (32-bit)       204.8 2048  (64 per bit)
+=====================  ====  ===========================================
+
+Table II adds the correction-circuitry components.  Its D-flip-flop FIT of
+0.5 per bit corresponds to a ~25-transistor DFF cell at a 20 % duty cycle
+(state fields are written rarely), and its mux/demux rows imply 8
+transistors/bit for a 2:1 mux, 20/bit for a 1:2 demux and 30/bit for a
+1:3 demux.  These inferred counts are stored explicitly; generic fallback
+formulas cover the sizes needed by the sensitivity sweeps (e.g. the
+SPF-vs-VC-count study re-sizes every arbiter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .forc import PAPER_TEMP_K, PAPER_VDD, DEFAULT_TDDB, TDDBParameters, fit_per_fet
+
+
+#: Duty cycle applied to state-field flip-flops (see module docstring).
+DFF_DUTY_CYCLE = 0.2
+
+#: Transistors per DFF bit (standard-cell D flip-flop).
+DFF_TRANSISTORS_PER_BIT = 25
+
+
+@dataclass(frozen=True)
+class Component:
+    """A fundamental circuit component for FIT/area accounting.
+
+    ``transistors`` is the effective device count; ``duty_cycle`` scales
+    the per-FET FIT (Equation 3).
+    """
+
+    name: str
+    transistors: int
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.transistors <= 0:
+            raise ValueError("component needs at least one transistor")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+
+    def fit(
+        self,
+        vdd: float = PAPER_VDD,
+        temp_k: float = PAPER_TEMP_K,
+        params: TDDBParameters = DEFAULT_TDDB,
+    ) -> float:
+        """FIT of this component (SOFR building block)."""
+        return self.transistors * fit_per_fet(
+            vdd, temp_k, self.duty_cycle, params
+        )
+
+
+# ----------------------------------------------------------------------
+# constructors for each fundamental component kind
+# ----------------------------------------------------------------------
+
+#: calibrated arbiter sizes from Table I (requests -> transistors)
+_ARBITER_CALIBRATED = {4: 74, 5: 93, 20: 367}
+
+#: transistors per request line for arbiter sizes outside the table
+ARBITER_TRANSISTORS_PER_REQ = 18.5
+
+
+def arbiter(requests: int) -> Component:
+    """A ``requests:1`` round-robin arbiter."""
+    if requests < 1:
+        raise ValueError("arbiter needs at least one request line")
+    t = _ARBITER_CALIBRATED.get(
+        requests, round(ARBITER_TRANSISTORS_PER_REQ * requests)
+    )
+    return Component(f"{requests}:1 arbiter", t)
+
+
+#: transistors per bit of a comparator (Table I: 6-bit -> 117)
+COMPARATOR_TRANSISTORS_PER_BIT = 19.5
+
+
+def comparator(bits: int) -> Component:
+    """A ``bits``-wide equality/magnitude comparator (RC building block)."""
+    if bits < 1:
+        raise ValueError("comparator needs at least one bit")
+    return Component(
+        f"{bits}-bit comparator", round(COMPARATOR_TRANSISTORS_PER_BIT * bits)
+    )
+
+
+#: calibrated mux sizes from Tables I/II ((inputs, width) -> transistors)
+_MUX_CALIBRATED = {
+    (4, 1): 48,
+    (5, 32): 2048,
+    (2, 32): 256,
+    (2, 2): 16,
+}
+
+#: per-input-per-bit transistor fallbacks
+_MUX_PER_INPUT_BIT = {2: 4.0, 3: 9.0, 4: 12.0, 5: 12.8}
+
+
+def mux(inputs: int, width: int = 1) -> Component:
+    """An ``inputs:1`` multiplexer, ``width`` bits wide."""
+    if inputs < 2 or width < 1:
+        raise ValueError("mux needs >=2 inputs and >=1 bit")
+    t = _MUX_CALIBRATED.get((inputs, width))
+    if t is None:
+        per = _MUX_PER_INPUT_BIT.get(inputs, 12.8)
+        t = round(per * inputs * width)
+    return Component(f"{width}-bit {inputs}:1 mux", t)
+
+
+#: transistors per bit for demultiplexers (Table II inference)
+_DEMUX_PER_BIT = {2: 20, 3: 30}
+
+
+def demux(outputs: int, width: int = 32) -> Component:
+    """A ``1:outputs`` demultiplexer, ``width`` bits wide."""
+    if outputs < 2 or width < 1:
+        raise ValueError("demux needs >=2 outputs and >=1 bit")
+    per = _DEMUX_PER_BIT.get(outputs, 10 * outputs)
+    return Component(f"{width}-bit 1:{outputs} demux", per * width)
+
+
+def dff(bits: int) -> Component:
+    """A ``bits``-wide D flip-flop state field (20 % duty cycle)."""
+    if bits < 1:
+        raise ValueError("DFF needs at least one bit")
+    return Component(
+        f"{bits}-bit DFF",
+        DFF_TRANSISTORS_PER_BIT * bits,
+        duty_cycle=DFF_DUTY_CYCLE,
+    )
+
+
+def register_file(bits: int) -> Component:
+    """Continuously-clocked register (pipeline latch): full duty cycle."""
+    if bits < 1:
+        raise ValueError("register needs at least one bit")
+    return Component(f"{bits}-bit register", DFF_TRANSISTORS_PER_BIT * bits)

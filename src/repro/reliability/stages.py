@@ -1,0 +1,219 @@
+"""FIT inventories of the pipeline stages (paper Tables I and II).
+
+For the paper's configuration — 5x5 router, 4 VCs, 8x8 mesh (64
+destinations -> 6-bit comparators), 32-bit flits — these inventories
+reproduce Table I:
+
+    RC 117, VA ~1474 (printed 1478 in the paper), SA ~203, XB 1024
+
+and Table II:
+
+    RC 117, VA 60, SA 53, XB 416
+
+Every inventory is parameterised over (ports, VCs, destination bits, flit
+width) so the sensitivity studies (SPF vs. VC count, larger meshes) reuse
+the same accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.ft_crossbar import demux_fanouts
+from .components import (
+    Component,
+    arbiter,
+    comparator,
+    demux,
+    dff,
+    mux,
+)
+from .forc import PAPER_TEMP_K, PAPER_VDD, DEFAULT_TDDB, TDDBParameters
+
+
+#: flit datapath width used by the paper's crossbar accounting
+FLIT_WIDTH_BITS = 32
+
+
+@dataclass(frozen=True)
+class RouterGeometry:
+    """The parameters the FIT inventories depend on."""
+
+    num_ports: int = 5
+    num_vcs: int = 4
+    dest_bits: int = 6  # ceil(log2(64)) for the 8x8 mesh
+    flit_width: int = FLIT_WIDTH_BITS
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 2 or self.num_vcs < 1:
+            raise ValueError("need >=2 ports and >=1 VC")
+        if self.dest_bits < 1 or self.flit_width < 1:
+            raise ValueError("dest_bits and flit_width must be positive")
+
+    @classmethod
+    def from_mesh(cls, num_nodes: int, num_ports: int = 5, num_vcs: int = 4,
+                  flit_width: int = FLIT_WIDTH_BITS) -> "RouterGeometry":
+        return cls(
+            num_ports=num_ports,
+            num_vcs=num_vcs,
+            dest_bits=max(1, math.ceil(math.log2(max(2, num_nodes)))),
+            flit_width=flit_width,
+        )
+
+    @property
+    def port_bits(self) -> int:
+        """Bits to name an output port (the R2/SP fields)."""
+        return max(1, math.ceil(math.log2(self.num_ports)))
+
+    @property
+    def vc_bits(self) -> int:
+        """Bits to name a VC (the ID field / bypass register)."""
+        return max(1, math.ceil(math.log2(self.num_vcs)))
+
+
+@dataclass
+class StageInventory:
+    """Component census of one pipeline stage."""
+
+    stage: str
+    entries: list[tuple[Component, int]] = field(default_factory=list)
+
+    def add(self, component: Component, count: int) -> None:
+        if count < 0:
+            raise ValueError("component count must be >= 0")
+        if count:
+            self.entries.append((component, count))
+
+    def fit(
+        self,
+        vdd: float = PAPER_VDD,
+        temp_k: float = PAPER_TEMP_K,
+        params: TDDBParameters = DEFAULT_TDDB,
+    ) -> float:
+        """SOFR: the stage's FIT is the sum over its components."""
+        return sum(c.fit(vdd, temp_k, params) * n for c, n in self.entries)
+
+    @property
+    def transistors(self) -> int:
+        return sum(c.transistors * n for c, n in self.entries)
+
+    def describe(self) -> list[str]:
+        return [f"{n} x {c.name}" for c, n in self.entries]
+
+
+# ----------------------------------------------------------------------
+# Table I: baseline pipeline stages
+# ----------------------------------------------------------------------
+
+def baseline_rc(geom: RouterGeometry) -> StageInventory:
+    """RC: two comparators per input port (X and Y dimension checks)."""
+    inv = StageInventory("RC")
+    inv.add(comparator(geom.dest_bits), 2 * geom.num_ports)
+    return inv
+
+
+def baseline_va(geom: RouterGeometry) -> StageInventory:
+    """VA: per-input-VC arbiter sets + per-downstream-VC arbiters."""
+    P, V = geom.num_ports, geom.num_vcs
+    inv = StageInventory("VA")
+    # stage 1: every input VC owns P arbiters of V:1
+    inv.add(arbiter(V), P * V * P)
+    # stage 2: one P*V:1 arbiter per downstream VC
+    inv.add(arbiter(P * V), P * V)
+    return inv
+
+
+def baseline_sa(geom: RouterGeometry) -> StageInventory:
+    """SA: request muxes + stage-1 (v:1) and stage-2 (pi:1) arbiters.
+
+    The paper's Table I counts 25 4:1 muxes for the 5-port router —
+    one V:1 request mux per (input port, output port) pair.
+    """
+    P, V = geom.num_ports, geom.num_vcs
+    inv = StageInventory("SA")
+    inv.add(mux(V, 1), P * P)
+    inv.add(arbiter(V), P)
+    inv.add(arbiter(P), P)
+    return inv
+
+
+def baseline_xb(geom: RouterGeometry) -> StageInventory:
+    """XB: one flit-wide pi:1 mux per output port."""
+    P = geom.num_ports
+    inv = StageInventory("XB")
+    inv.add(mux(P, geom.flit_width), P)
+    return inv
+
+
+def baseline_stages(geom: RouterGeometry | None = None) -> dict[str, StageInventory]:
+    """Paper Table I as a stage -> inventory mapping."""
+    geom = geom or RouterGeometry()
+    return {
+        "RC": baseline_rc(geom),
+        "VA": baseline_va(geom),
+        "SA": baseline_sa(geom),
+        "XB": baseline_xb(geom),
+    }
+
+
+# ----------------------------------------------------------------------
+# Table II: correction circuitry
+# ----------------------------------------------------------------------
+
+def correction_rc(geom: RouterGeometry) -> StageInventory:
+    """Duplicate RC unit per port: same comparator census as baseline."""
+    inv = StageInventory("RC")
+    inv.add(comparator(geom.dest_bits), 2 * geom.num_ports)
+    return inv
+
+
+def correction_va(geom: RouterGeometry) -> StageInventory:
+    """New per-VC state fields R2, VF, ID (Figure 4)."""
+    P, V = geom.num_ports, geom.num_vcs
+    inv = StageInventory("VA")
+    inv.add(dff(geom.port_bits), P * V)  # R2
+    inv.add(dff(1), P * V)  # VF
+    inv.add(dff(geom.vc_bits), P * V)  # ID
+    return inv
+
+
+def correction_sa(geom: RouterGeometry) -> StageInventory:
+    """Bypass muxes + default-winner registers + SP/FSP fields."""
+    P, V = geom.num_ports, geom.num_vcs
+    inv = StageInventory("SA")
+    inv.add(mux(2, geom.vc_bits), P)  # bypass 2:1 mux per port
+    inv.add(dff(geom.vc_bits), P)  # default-winner register
+    inv.add(dff(geom.port_bits), P * V)  # SP
+    inv.add(dff(1), P * V)  # FSP
+    return inv
+
+
+def correction_xb(geom: RouterGeometry) -> StageInventory:
+    """Secondary-path demuxes + per-output 2:1 muxes (Figure 6)."""
+    P, W = geom.num_ports, geom.flit_width
+    inv = StageInventory("XB")
+    inv.add(mux(2, W), P)  # P1..P5 output muxes
+    fan = demux_fanouts(P)
+    n_two = sum(1 for f in fan.values() if f == 2)
+    n_three = sum(1 for f in fan.values() if f == 3)
+    inv.add(demux(2, W), n_two)
+    inv.add(demux(3, W), n_three)
+    return inv
+
+
+def correction_stages(geom: RouterGeometry | None = None) -> dict[str, StageInventory]:
+    """Paper Table II as a stage -> inventory mapping."""
+    geom = geom or RouterGeometry()
+    return {
+        "RC": correction_rc(geom),
+        "VA": correction_va(geom),
+        "SA": correction_sa(geom),
+        "XB": correction_xb(geom),
+    }
+
+
+def total_fit(stages: dict[str, StageInventory], **kw) -> float:
+    """SOFR over a whole set of stages."""
+    return sum(inv.fit(**kw) for inv in stages.values())

@@ -1,0 +1,52 @@
+"""Generic NoC router substrate (paper Section II).
+
+Flits, virtual channels, arbiters, separable VA/SA allocators, the
+baseline crossbar, XY routing, and the 4-stage pipeline driver.
+"""
+
+from .allocator import SAGrant, SAUnit, VAGrant, VAUnit
+from .arbiter import Arbiter, MatrixArbiter, RoundRobinArbiter, make_arbiter
+from .crossbar import Crossbar, PathPlan
+from .flit import Flit, FlitType, Packet, reset_packet_ids
+from .input_port import InputPort
+from .router import BaseRouter, BaselineRouter, OutputPort, RCUnit, RouterStats
+from .routing import (
+    LookaheadXYRouting,
+    RoutingFunction,
+    WestFirstRouting,
+    XYRouting,
+    YXRouting,
+    make_routing,
+)
+from .vc import VCState, VirtualChannel
+
+__all__ = [
+    "Arbiter",
+    "BaseRouter",
+    "BaselineRouter",
+    "Crossbar",
+    "Flit",
+    "FlitType",
+    "InputPort",
+    "LookaheadXYRouting",
+    "MatrixArbiter",
+    "OutputPort",
+    "Packet",
+    "PathPlan",
+    "RCUnit",
+    "RoundRobinArbiter",
+    "RouterStats",
+    "RoutingFunction",
+    "SAGrant",
+    "SAUnit",
+    "VAGrant",
+    "VAUnit",
+    "VCState",
+    "VirtualChannel",
+    "WestFirstRouting",
+    "XYRouting",
+    "YXRouting",
+    "make_arbiter",
+    "make_routing",
+    "reset_packet_ids",
+]

@@ -1,0 +1,252 @@
+"""Two-stage separable virtual-channel and switch allocators.
+
+Paper Figures 3a and 3b.  For a router with ``pi`` input ports, ``po``
+output ports and ``v`` VCs per port:
+
+* **VA stage 1** — every input VC owns a set of ``po`` arbiters, each
+  ``v:1``: given the RC result, the arbiter for that output port picks one
+  free VC at the downstream router.  (5-port, 4-VC router: 100 ``4:1``
+  arbiters — exactly the count in the paper's Table I.)
+* **VA stage 2** — one ``pi*v : 1`` arbiter per downstream VC resolves
+  input VCs that picked the same downstream VC.  (20 ``20:1`` arbiters.)
+* **SA stage 1** — one ``v:1`` arbiter per input port picks which VC of the
+  port may bid for the switch.  (5 ``4:1`` arbiters.)
+* **SA stage 2** — one ``pi:1`` arbiter per output port resolves
+  competition for that port's crossbar mux.  (5 ``5:1`` arbiters.)
+
+Both units implement the *baseline* (unprotected) behaviour: a faulty
+arbiter simply never grants, which blocks the affected flits exactly as the
+paper describes.  The protected router's units
+(:mod:`repro.core.ft_va`, :mod:`repro.core.ft_sa`) subclass these and
+override the hook methods marked below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .arbiter import make_arbiter
+from .crossbar import PathPlan
+from .vc import VCState, VirtualChannel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .router import BaseRouter
+
+
+@dataclass
+class VAGrant:
+    """Outcome of one successful VC allocation (diagnostics/tests)."""
+
+    in_port: int
+    in_slot: int
+    out_port: int
+    out_vc: int
+    packet_id: int
+    borrowed_from: Optional[int] = None
+
+
+@dataclass
+class SAGrant:
+    """A switch-allocation winner: ``vc``'s front flit crosses next cycle."""
+
+    in_port: int
+    vc: VirtualChannel
+    plan: PathPlan
+
+
+class VAUnit:
+    """Baseline two-stage separable virtual-channel allocator."""
+
+    def __init__(self, router: "BaseRouter", arbiter_kind: str = "round_robin") -> None:
+        self.router = router
+        cfg = router.config
+        P, V = cfg.num_ports, cfg.num_vcs
+        #: stage 1: [input port][physical slot][output port] -> v:1 arbiter
+        self.stage1 = [
+            [[make_arbiter(V, arbiter_kind) for _ in range(P)] for _ in range(V)]
+            for _ in range(P)
+        ]
+        #: stage 2: [output port][downstream wire VC] -> pi*v:1 arbiter
+        self.stage2 = [
+            [make_arbiter(P * V, arbiter_kind) for _ in range(V)] for _ in range(P)
+        ]
+
+    # -- hooks the protected router overrides --------------------------------
+    def _stage1_arbiters(self, port: int, slot: int):
+        """Arbiter set used by the VC in (port, slot), or ``None`` if blocked.
+
+        Baseline: the VC's own set, unless it is faulty.  Returns a tuple
+        ``(owner_slot, arbiter_row)`` so the FT override can lend another
+        VC's arbiters.
+        """
+        if (port, slot) in self.router.faults.va1:
+            return None
+        return slot, self.stage1[port][slot]
+
+    def _on_stage2_fault(self, vc: VirtualChannel, out_port: int, dvc: int) -> None:
+        """Called when a stage-2 arbiter is faulty.  Baseline: nothing —
+        the flit stays blocked (and the paper's FIT model calls the router
+        failed).  The protected unit records an exclusion so the retry
+        (+1 cycle, Section V-B3) picks a different downstream VC."""
+
+    # ------------------------------------------------------------------------
+    def allocate(self, cycle: int) -> list[VAGrant]:
+        """Run both VA stages for every VC in ``WAITING_VA`` state."""
+        router = self.router
+        cfg = router.config
+        V = cfg.num_vcs
+
+        # ---- stage 1: each waiting VC picks a free downstream VC ----
+        # proposals: (out_port, dvc) -> list of (flat requester id, vc, meta)
+        proposals: dict[tuple[int, int], list[tuple[int, VirtualChannel, int, int, Optional[int]]]] = {}
+        for p, in_port in enumerate(router.in_ports):
+            for s, vc in enumerate(in_port.slots):
+                if vc.state != VCState.WAITING_VA:
+                    continue
+                r = vc.route
+                assert r is not None, "VC in WAITING_VA without a route"
+                arbs = self._stage1_arbiters(p, s)
+                if arbs is None:
+                    router.stats.va_blocked_cycles += 1
+                    continue
+                owner_slot, arb_row = arbs
+                vnet = cfg.vnet_of_vc(vc.index)
+                free = router.out_ports[r].free_vcs(cfg.vcs_of_vnet(vnet))
+                excluded = vc.va_excluded
+                if excluded:
+                    free = [d for d in free if d not in excluded]
+                if not free:
+                    router.stats.va_no_free_vc_cycles += 1
+                    continue
+                choice = arb_row[r].grant(free)
+                if choice is None:  # arbiter itself faulty
+                    router.stats.va_blocked_cycles += 1
+                    continue
+                flat = p * V + s
+                borrowed = owner_slot if owner_slot != s else None
+                proposals.setdefault((r, choice), []).append(
+                    (flat, vc, p, s, borrowed)
+                )
+
+        # ---- stage 2: resolve conflicts per downstream VC ----
+        grants: list[VAGrant] = []
+        for (r, dvc), reqs in proposals.items():
+            if (r, dvc) in self.router.faults.va2:
+                for _, vc, _, _, _ in reqs:
+                    self._on_stage2_fault(vc, r, dvc)
+                    router.stats.va_stage2_fault_retries += 1
+                continue
+            arb = self.stage2[r][dvc]
+            winner = arb.grant([flat for flat, *_ in reqs])
+            if winner is None:
+                continue
+            for flat, vc, p, s, borrowed in reqs:
+                if flat != winner:
+                    continue
+                vc.out_vc = dvc
+                vc.state = VCState.ACTIVE
+                vc.va_excluded = None
+                router.out_ports[r].allocated[dvc] = vc.packet_id
+                router.stats.va_grants += 1
+                if borrowed is not None:
+                    router.stats.va_borrowed_grants += 1
+                grants.append(
+                    VAGrant(p, s, r, dvc, vc.packet_id, borrowed_from=borrowed)
+                )
+                break
+        return grants
+
+
+class SAUnit:
+    """Baseline two-stage separable switch allocator."""
+
+    def __init__(self, router: "BaseRouter", arbiter_kind: str = "round_robin") -> None:
+        self.router = router
+        cfg = router.config
+        P, V = cfg.num_ports, cfg.num_vcs
+        #: stage 1: [input port] -> v:1 arbiter over physical slots
+        self.stage1 = [make_arbiter(V, arbiter_kind) for _ in range(P)]
+        #: stage 2: [output/arb port] -> pi:1 arbiter over input ports
+        self.stage2 = [make_arbiter(P, arbiter_kind) for _ in range(P)]
+
+    # -- hooks the protected router overrides --------------------------------
+    def _stage1_winner(self, port: int, candidates: list[int], cycle: int) -> Optional[int]:
+        """Pick the physical slot that bids for the switch for ``port``.
+
+        Baseline: the port's ``v:1`` arbiter; faulty arbiter grants nothing.
+        The FT override adds the bypass path (rotating default winner) and
+        may trigger a VC transfer, consuming the cycle.
+        """
+        if port in self.router.faults.sa1:
+            self.router.stats.sa_blocked_cycles += 1
+            return None
+        return self.stage1[port].grant(candidates)
+
+    def _stage2_arbiter_ok(self, arb_port: int) -> bool:
+        """Baseline: a faulty stage-2 arbiter grants nothing.
+
+        (With path plans, requests are never steered to a faulty arbiter —
+        ``plan_path`` already returns None/secondary — so this is a
+        defensive double-check.)
+        """
+        return arb_port not in self.router.faults.sa2
+
+    # ------------------------------------------------------------------------
+    def _vc_ready(self, vc: VirtualChannel) -> Optional[PathPlan]:
+        """Path plan if ``vc`` can bid for the switch this cycle, else None.
+
+        Ready means: ACTIVE, has a buffered flit, downstream credit
+        available, and the crossbar can reach the route.
+        """
+        if vc.state != VCState.ACTIVE or not vc.buffer:
+            return None
+        r = vc.route
+        out = self.router.out_ports[r]
+        if out.credits[vc.out_vc] <= 0:
+            return None
+        return self.router.crossbar.plan_path(r)
+
+    def allocate(self, cycle: int) -> list[SAGrant]:
+        """Run both SA stages; returns winners that cross the XB next cycle."""
+        router = self.router
+
+        # ---- stage 1: one candidate VC per input port ----
+        stage1_winners: list[tuple[int, VirtualChannel, PathPlan]] = []
+        for p, in_port in enumerate(router.in_ports):
+            plans: dict[int, PathPlan] = {}
+            candidates = []
+            for s, vc in enumerate(in_port.slots):
+                plan = self._vc_ready(vc)
+                if plan is not None:
+                    candidates.append(s)
+                    plans[s] = plan
+            if not candidates:
+                continue
+            winner = self._stage1_winner(p, candidates, cycle)
+            if winner is None:
+                continue
+            stage1_winners.append((p, in_port.slots[winner], plans[winner]))
+
+        # ---- stage 2: resolve per physical arbiter/mux ----
+        by_arb: dict[int, list[tuple[int, VirtualChannel, PathPlan]]] = {}
+        for p, vc, plan in stage1_winners:
+            by_arb.setdefault(plan.arb_port, []).append((p, vc, plan))
+
+        grants: list[SAGrant] = []
+        for arb_port, reqs in by_arb.items():
+            if not self._stage2_arbiter_ok(arb_port):
+                continue
+            winner_port = self.stage2[arb_port].grant([p for p, _, _ in reqs])
+            if winner_port is None:
+                continue
+            for p, vc, plan in reqs:
+                if p != winner_port:
+                    continue
+                router.out_ports[plan.dest].credits[vc.out_vc] -= 1
+                router.stats.sa_grants += 1
+                if plan.secondary:
+                    router.stats.secondary_path_grants += 1
+                grants.append(SAGrant(p, vc, plan))
+                break
+        return grants

@@ -1,0 +1,139 @@
+"""Arbiters — the fundamental building block of the VA and SA stages.
+
+The paper's FIT accounting (Table I) treats the ``v:1`` and ``pi:1`` arbiters
+as the fundamental components of the allocation stages, and its fault model
+marks whole arbiters as faulty.  Two classic implementations are provided:
+
+* :class:`RoundRobinArbiter` — rotating-priority arbiter; the winner gets
+  lowest priority next time.  This is the default everywhere because it is
+  starvation-free, which the paper's bypass-path discussion (Section V-C1)
+  relies on.
+* :class:`MatrixArbiter` — least-recently-served matrix arbiter, provided
+  for completeness and used by some ablation benches.
+
+Both expose the same interface: ``grant(requests) -> winner | None`` where
+``requests`` is an iterable of requester indices, plus a ``faulty`` flag that
+models a permanent fault (a faulty arbiter never grants — Section V describes
+exactly this failure semantics: the associated flit "would not be allocated
+... resulting in the flit being blocked").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+class Arbiter:
+    """Interface shared by all arbiter implementations."""
+
+    __slots__ = ("size", "faulty")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.size = size
+        #: permanent-fault flag; a faulty arbiter never grants
+        self.faulty = False
+
+    def grant(self, requests: Iterable[int]) -> Optional[int]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore priority state to power-on defaults (not the fault flag)."""
+        raise NotImplementedError
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter.
+
+    Priority starts at requester 0; after a grant to requester *i*,
+    requester *i+1 (mod size)* has top priority.  ``grant`` runs in
+    O(#requests) using modular distance, not O(size).
+    """
+
+    __slots__ = ("_priority",)
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._priority = 0
+
+    def reset(self) -> None:
+        self._priority = 0
+
+    @property
+    def priority(self) -> int:
+        """Requester index that currently has top priority."""
+        return self._priority
+
+    def grant(self, requests: Iterable[int]) -> Optional[int]:
+        """Pick the requester closest (cyclically) to the priority pointer.
+
+        Returns ``None`` when there are no requests or the arbiter is
+        faulty.  On a grant the priority pointer advances past the winner.
+        """
+        if self.faulty:
+            return None
+        best = None
+        best_dist = self.size
+        prio = self._priority
+        size = self.size
+        for r in requests:
+            if r < 0 or r >= size:
+                raise ValueError(f"requester {r} out of range 0..{size - 1}")
+            dist = (r - prio) % size
+            if dist < best_dist:
+                best = r
+                best_dist = dist
+                if dist == 0:
+                    break
+        if best is not None:
+            self._priority = (best + 1) % size
+        return best
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served arbiter.
+
+    Keeps a strict priority order (most-recently-served last); grants the
+    highest-priority requester and demotes it to the back.  Exactly
+    equivalent to the classic triangular-matrix hardware implementation.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, size: int) -> None:
+        super().__init__(size)
+        self._order = list(range(size))
+
+    def reset(self) -> None:
+        self._order = list(range(self.size))
+
+    @property
+    def order(self) -> Sequence[int]:
+        """Current priority order, highest first (read-only view)."""
+        return tuple(self._order)
+
+    def grant(self, requests: Iterable[int]) -> Optional[int]:
+        if self.faulty:
+            return None
+        req = set(requests)
+        if not req:
+            return None
+        for r in req:
+            if r < 0 or r >= self.size:
+                raise ValueError(f"requester {r} out of range 0..{self.size - 1}")
+        for i, cand in enumerate(self._order):
+            if cand in req:
+                # demote winner to least priority
+                self._order.append(self._order.pop(i))
+                return cand
+        return None  # pragma: no cover - unreachable (req non-empty)
+
+
+def make_arbiter(size: int, kind: str = "round_robin") -> Arbiter:
+    """Factory used by the allocators so arbiter flavour is configurable."""
+    if kind == "round_robin":
+        return RoundRobinArbiter(size)
+    if kind == "matrix":
+        return MatrixArbiter(size)
+    raise ValueError(f"unknown arbiter kind {kind!r}")

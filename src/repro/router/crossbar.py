@@ -1,0 +1,95 @@
+"""Crossbar stage (XB) — baseline architecture and the path-plan interface.
+
+Paper Figure 3c: a ``pi x po`` crossbar is ``po`` multiplexers, each ``pi:1``,
+one per output port.  "A fault in a multiplexer blocks the passage to its
+associated output port" (Section V-D) — in the baseline crossbar there is a
+single path per output, so a mux fault makes that output unreachable.
+
+The pipeline interacts with the crossbar through *path plans*: given a
+logical output port ``k``, :meth:`Crossbar.plan_path` answers which SA
+stage-2 arbiter must be won and which physical mux will carry the flit, or
+``None`` when the output is unreachable.  The baseline plan is trivial
+(arbiter ``k``, mux ``k``); the protected router's
+:class:`repro.core.ft_crossbar.SecondaryPathCrossbar` overrides it with the
+demux/mux secondary paths of paper Figure 6.
+
+A faulty SA stage-2 arbiter also makes its output port unreachable in the
+baseline ("the input VCs cannot arbitrate for the arbiter's associated
+output port thus making the output port unreachable", Section V-C2), so the
+plan accounts for both fault sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults.sites import RouterFaultState
+
+
+@dataclass(frozen=True)
+class PathPlan:
+    """How a flit physically reaches logical output ``dest``.
+
+    Attributes
+    ----------
+    arb_port:
+        SA stage-2 arbiter the input VC must win.  Equals ``dest`` on the
+        normal path; equals the secondary-source port when the secondary
+        path is in use (the paper's ``SP`` field holds this value).
+    mux:
+        Physical crossbar multiplexer that carries the flit.  Always equal
+        to ``arb_port`` (each arbiter drives its own mux).
+    dest:
+        Logical output port — the link the flit is delivered on.
+    secondary:
+        True when the correction circuitry (demux + 2:1 output mux) is in
+        use; the ``FSP`` flag in the paper.
+    """
+
+    arb_port: int
+    mux: int
+    dest: int
+    secondary: bool
+
+
+class Crossbar:
+    """Baseline crossbar: one ``pi:1`` mux per output port, single path.
+
+    ``plan_path`` results are cached; the cache is invalidated whenever the
+    fault state changes (``notify_fault_change``), since plans depend only
+    on the static fault sets.
+    """
+
+    def __init__(self, num_ports: int, faults: RouterFaultState) -> None:
+        self.num_ports = num_ports
+        self.faults = faults
+        self._plan_cache: dict[int, Optional[PathPlan]] = {}
+
+    def notify_fault_change(self) -> None:
+        """Invalidate cached plans after a fault injection or heal."""
+        self._plan_cache.clear()
+
+    def plan_path(self, dest: int) -> Optional[PathPlan]:
+        """Plan for reaching ``dest``, or ``None`` if unreachable."""
+        try:
+            return self._plan_cache[dest]
+        except KeyError:
+            plan = self._compute_plan(dest)
+            self._plan_cache[dest] = plan
+            return plan
+
+    def _compute_plan(self, dest: int) -> Optional[PathPlan]:
+        if not (0 <= dest < self.num_ports):
+            raise ValueError(f"output port {dest} out of range")
+        if dest in self.faults.xb_mux or dest in self.faults.sa2:
+            return None
+        return PathPlan(arb_port=dest, mux=dest, dest=dest, secondary=False)
+
+    def reachable(self, dest: int) -> bool:
+        """True when some path (normal or secondary) reaches ``dest``."""
+        return self.plan_path(dest) is not None
+
+    def reachable_outputs(self) -> list[int]:
+        """All currently reachable output ports (diagnostics/tests)."""
+        return [p for p in range(self.num_ports) if self.reachable(p)]

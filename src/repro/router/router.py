@@ -1,0 +1,351 @@
+"""The router: 4-stage pipeline driver, credits, and output-side state.
+
+Pipeline (paper Figure 2): a head flit entering at cycle *t* performs
+routing computation (RC) at *t+1*, VC allocation (VA) at *t+2*, switch
+allocation (SA) at *t+3*, and crossbar traversal (XB) at *t+4*; body and
+tail flits use only SA and XB.  The simulator realises this by executing,
+each cycle, the phases in reverse pipeline order (XB first, RC last) so a
+flit advances exactly one stage per cycle.
+
+The router is built from pluggable units — RC unit, VA unit, SA unit,
+crossbar — so that :class:`BaselineRouter` and the protected router
+(:class:`repro.core.protected_router.ProtectedRouter`) share this driver
+and differ only in the units and the fault-handling hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from ..config import RouterConfig
+from ..faults.sites import RouterFaultState
+from .allocator import SAGrant, SAUnit, VAUnit
+from .crossbar import Crossbar
+from .flit import Flit
+from .input_port import InputPort
+from .routing import RoutingFunction
+from .vc import VCState, VirtualChannel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.simulator import EventScheduler
+
+
+class OutputPort:
+    """Output-side state: credits and downstream-VC allocation tracking.
+
+    ``credits[d]`` counts free buffer slots of downstream wire-VC ``d``;
+    ``allocated[d]`` holds the packet id that currently owns ``d`` (set by
+    VA, cleared when this router forwards the packet's tail — the standard
+    reallocation-on-tail policy).
+    """
+
+    __slots__ = ("port", "num_vcs", "credits", "allocated", "connected")
+
+    def __init__(self, port: int, num_vcs: int, buffer_depth: int) -> None:
+        self.port = port
+        self.num_vcs = num_vcs
+        self.credits = [buffer_depth] * num_vcs
+        self.allocated: list[Optional[int]] = [None] * num_vcs
+        #: False on mesh edges where no link exists
+        self.connected = False
+
+    def free_vcs(self, vnet_vcs: Iterable[int]) -> list[int]:
+        """Downstream VCs of the given vnet not owned by any packet."""
+        alloc = self.allocated
+        return [d for d in vnet_vcs if alloc[d] is None]
+
+    @property
+    def total_credits(self) -> int:
+        return sum(self.credits)
+
+
+class RCUnit:
+    """Baseline routing-computation unit: one (unprotected) unit per port.
+
+    A permanent fault in the unit means "the entire pipeline is affected"
+    (Section V-A): head flits at that port can no longer be routed and
+    block.  ``compute`` returns the output port or ``None`` when blocked.
+
+    With an *adaptive* routing function (e.g. west-first), the unit
+    selects among the permitted candidates at routing time: it prefers
+    outputs that are reachable through a healthy normal crossbar path,
+    then by downstream credit availability — which both balances load and
+    routes around outputs whose paths have died (fault-aware routing, an
+    extension beyond the paper's XY setup).
+    """
+
+    def __init__(self, router: "BaseRouter") -> None:
+        self.router = router
+
+    def compute(self, in_port: int, flit: Flit) -> Optional[int]:
+        if in_port in self.router.faults.rc_primary:
+            return None
+        return self.select_route(flit)
+
+    def select_route(self, flit: Flit) -> int:
+        """The routing decision proper (fault gating handled by callers)."""
+        router = self.router
+        routing = router.routing
+        if not routing.adaptive:
+            return routing.output_port(router.node, flit.dest)
+        cands = routing.candidate_ports(router.node, flit.dest)
+        best, best_key = None, None
+        for c in cands:
+            plan = router.crossbar.plan_path(c)
+            if plan is None:
+                continue
+            credits = sum(router.out_ports[c].credits)
+            key = (not plan.secondary, credits)
+            if best_key is None or key > best_key:
+                best, best_key = c, key
+        if best is None:
+            # every candidate unreachable: fall back to the preferred
+            # direction; the pipeline will report it blocked
+            return cands[0]
+        return best
+
+
+@dataclass
+class RouterStats:
+    """Per-router event counters (reset with the measurement window)."""
+
+    flits_traversed: int = 0
+    buffer_writes: int = 0
+    va_grants: int = 0
+    sa_grants: int = 0
+    va_borrowed_grants: int = 0
+    va_stage2_fault_retries: int = 0
+    va_blocked_cycles: int = 0
+    va_no_free_vc_cycles: int = 0
+    va_borrow_wait_cycles: int = 0
+    sa_blocked_cycles: int = 0
+    sa_bypass_grants: int = 0
+    vc_transfers: int = 0
+    secondary_path_grants: int = 0
+    rc_blocked_cycles: int = 0
+    rc_duplicate_computations: int = 0
+    unreachable_output_cycles: int = 0
+
+    def reset(self) -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, 0)
+
+
+class BaseRouter:
+    """Shared pipeline driver; subclasses choose the units."""
+
+    #: marker used by reports ("baseline" / "protected")
+    kind = "base"
+
+    def __init__(
+        self,
+        node: int,
+        config: RouterConfig,
+        routing: RoutingFunction,
+        arbiter_kind: str = "round_robin",
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.routing = routing
+        self.faults = RouterFaultState(config)
+        self.stats = RouterStats()
+
+        P, V, D = config.num_ports, config.num_vcs, config.buffer_depth
+        self.in_ports = [InputPort(p, V, D) for p in range(P)]
+        self.out_ports = [OutputPort(p, V, D) for p in range(P)]
+
+        self.crossbar = self._make_crossbar()
+        self.rc_unit = self._make_rc_unit()
+        self.va_unit = self._make_va_unit(arbiter_kind)
+        self.sa_unit = self._make_sa_unit(arbiter_kind)
+
+        #: SA winners of the previous cycle, traversing the XB this cycle
+        self._xb_queue: list[SAGrant] = []
+        #: count of non-idle VCs, used by the simulator to skip idle routers
+        self._nonidle = 0
+
+    # -- unit factories (overridden by the protected router) ---------------
+    def _make_crossbar(self) -> Crossbar:
+        return Crossbar(self.config.num_ports, self.faults)
+
+    def _make_rc_unit(self) -> RCUnit:
+        return RCUnit(self)
+
+    def _make_va_unit(self, arbiter_kind: str) -> VAUnit:
+        return VAUnit(self, arbiter_kind)
+
+    def _make_sa_unit(self, arbiter_kind: str) -> SAUnit:
+        return SAUnit(self, arbiter_kind)
+
+    # ----------------------------------------------------------------------
+    # fault management
+    # ----------------------------------------------------------------------
+    def inject_fault(self, site) -> bool:
+        """Inject a permanent fault and refresh cached path plans."""
+        changed = self.faults.inject(site)
+        if changed:
+            self._apply_fault_flags()
+            self.crossbar.notify_fault_change()
+        return changed
+
+    def heal_fault(self, site) -> bool:
+        changed = self.faults.heal(site)
+        if changed:
+            self._apply_fault_flags()
+            self.crossbar.notify_fault_change()
+        return changed
+
+    def _apply_fault_flags(self) -> None:
+        """Mirror the fault sets onto the arbiter objects' ``faulty`` flags.
+
+        The allocators consult :attr:`faults` directly; syncing the flags
+        keeps standalone arbiter uses (and tests poking at units) honest.
+        """
+        cfg = self.config
+        for p in range(cfg.num_ports):
+            for s in range(cfg.num_vcs):
+                fa = (p, s) in self.faults.va1
+                for arb in self.va_unit.stage1[p][s]:
+                    arb.faulty = fa
+                self.va_unit.stage2[p][s].faulty = (p, s) in self.faults.va2
+            self.sa_unit.stage1[p].faulty = p in self.faults.sa1
+            self.sa_unit.stage2[p].faulty = p in self.faults.sa2
+
+    # ----------------------------------------------------------------------
+    # busy tracking
+    # ----------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True when the router has any pipeline work this cycle."""
+        return self._nonidle > 0 or bool(self._xb_queue)
+
+    # ----------------------------------------------------------------------
+    # per-cycle phases (called by the network simulator, in this order)
+    # ----------------------------------------------------------------------
+    def xb_phase(self, sched: "EventScheduler", cycle: int) -> None:
+        """Crossbar traversal: commit last cycle's SA grants."""
+        if not self._xb_queue:
+            return
+        for grant in self._xb_queue:
+            vc = grant.vc
+            plan = grant.plan
+            # The flit and bookkeeping captured at SA time are still valid:
+            # the VC object is referenced directly and wormhole ordering
+            # guarantees its front flit belongs to the granted packet.
+            out_vc = vc.out_vc
+            dest = plan.dest
+            flit = vc.dequeue()
+            flit.hops += 1
+            self.stats.flits_traversed += 1
+            if vc.state == VCState.IDLE:
+                self._nonidle -= 1
+            if flit.is_tail:
+                # reallocation-on-tail: free the downstream VC for new VA
+                self.out_ports[dest].allocated[out_vc] = None
+            sched.deliver_flit(self.node, dest, out_vc, flit)
+            # the freed input buffer slot becomes a credit upstream
+            sched.return_credit(self.node, grant.in_port, vc.index)
+        self._xb_queue.clear()
+
+    def sa_phase(self, cycle: int) -> None:
+        """Switch allocation; winners traverse the crossbar next cycle."""
+        if self._nonidle == 0:
+            return
+        self._xb_queue = self.sa_unit.allocate(cycle)
+
+    def va_phase(self, cycle: int) -> None:
+        """Virtual-channel allocation for head flits."""
+        if self._nonidle == 0:
+            return
+        self.va_unit.allocate(cycle)
+
+    def rc_phase(self, cycle: int) -> None:
+        """Routing computation for newly arrived head flits."""
+        if self._nonidle == 0:
+            return
+        crossbar = self.crossbar
+        for in_port in self.in_ports:
+            for vc in in_port.slots:
+                if vc.state != VCState.ROUTING:
+                    continue
+                out = self.rc_unit.compute(in_port.port, vc.front())
+                if out is None:
+                    self.stats.rc_blocked_cycles += 1
+                    continue
+                plan = crossbar.plan_path(out)
+                if plan is None:
+                    # output unreachable through any path: the packet is
+                    # stuck; the watchdog / failure predicate reports it.
+                    self.stats.unreachable_output_cycles += 1
+                    continue
+                vc.route = out
+                # Section V-D: RC updates the SP/FSP fields when the
+                # regular path to the computed output port is unusable.
+                vc.sp = plan.arb_port if plan.secondary else None
+                vc.fsp = plan.secondary
+                vc.state = VCState.WAITING_VA
+
+    # ----------------------------------------------------------------------
+    # link-side entry points (called by the simulator)
+    # ----------------------------------------------------------------------
+    def receive_flit(self, port: int, wire_vc: int, flit: Flit, cycle: int) -> None:
+        """Buffer write: a flit arrives from the upstream link (or NIC)."""
+        vc = self.in_ports[port].by_wire(wire_vc)
+        was_idle = vc.state == VCState.IDLE
+        vc.enqueue(flit)
+        self.stats.buffer_writes += 1
+        if was_idle:
+            self._nonidle += 1
+
+    def receive_credit(self, out_port: int, wire_vc: int) -> None:
+        """A downstream buffer slot was freed."""
+        op = self.out_ports[out_port]
+        op.credits[wire_vc] += 1
+        if op.credits[wire_vc] > self.config.buffer_depth:
+            raise AssertionError(
+                f"credit overflow on router {self.node} port {out_port} "
+                f"vc {wire_vc}: flow-control protocol violated"
+            )
+
+    # ----------------------------------------------------------------------
+    # diagnostics
+    # ----------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        """Total flits buffered in all input VCs (drain check)."""
+        return sum(p.total_occupancy for p in self.in_ports)
+
+    def pending_grants(self) -> Sequence[SAGrant]:
+        return tuple(self._xb_queue)
+
+    def check_invariants(self) -> None:
+        """Structural invariants, used by property tests."""
+        cfg = self.config
+        for in_port in self.in_ports:
+            in_port.check_invariants()
+        nonidle = sum(
+            1
+            for ip in self.in_ports
+            for vc in ip.slots
+            if vc.state != VCState.IDLE
+        )
+        assert nonidle == self._nonidle, (
+            f"router {self.node}: busy count {self._nonidle} != actual {nonidle}"
+        )
+        for op in self.out_ports:
+            for d in range(cfg.num_vcs):
+                assert 0 <= op.credits[d] <= cfg.buffer_depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(node={self.node})"
+
+
+class BaselineRouter(BaseRouter):
+    """The unprotected generic NoC router of paper Section II.
+
+    Any permanent fault in a pipeline-stage component blocks the affected
+    traffic — the paper's baseline reliability model therefore counts *any*
+    single fault as router failure (MTTF analysis, Section VII).
+    """
+
+    kind = "baseline"

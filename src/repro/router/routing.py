@@ -1,0 +1,213 @@
+"""Routing computation (RC) — dimension-order routing and variants.
+
+The paper employs XY dimension-order routing (Section V-A): "XY routing
+protocol does not require routing tables.  The fundamental logic block
+required for implementing XY routing protocol is a comparator."  The RC unit
+of a 5-port router in an 8x8 mesh therefore consists of two 6-bit
+comparators (one per dimension), which is exactly how the reliability model
+(:mod:`repro.reliability.components`) accounts for it.
+
+XY routing on a mesh is deadlock-free: packets fully resolve the X dimension
+before turning into Y, which breaks all cyclic channel dependencies.
+"""
+
+from __future__ import annotations
+
+from ..config import (
+    NetworkConfig,
+    PORT_EAST,
+    PORT_LOCAL,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+)
+
+
+class RoutingFunction:
+    """Interface: map (current node, destination node) -> output port(s).
+
+    Deterministic functions implement :meth:`output_port`.  Adaptive
+    functions additionally override :meth:`candidate_ports` to return all
+    permitted productive directions; the RC unit then selects among them
+    (by path health and downstream credit) at routing time.
+    """
+
+    #: True when candidate_ports can return more than one port
+    adaptive = False
+
+    def __init__(self, network: NetworkConfig) -> None:
+        self.network = network
+
+    def output_port(self, node: int, dest: int) -> int:
+        raise NotImplementedError
+
+    def candidate_ports(self, node: int, dest: int) -> list[int]:
+        """Permitted output ports, most-preferred first (default: the one
+        deterministic choice)."""
+        return [self.output_port(node, dest)]
+
+    def hop_count(self, src: int, dest: int) -> int:
+        """Number of router-to-router hops on the computed path."""
+        hops = 0
+        node = tuple(self.network.coords(src))
+        # Walk the route; bounded by network diameter so this terminates.
+        cur = src
+        limit = self.network.num_nodes + 2
+        while cur != dest:
+            port = self.output_port(cur, dest)
+            if port == PORT_LOCAL:
+                break
+            cur = _neighbour(self.network, cur, port)
+            hops += 1
+            if hops > limit:  # pragma: no cover - defensive
+                raise RuntimeError("routing function does not converge")
+        del node
+        return hops
+
+
+def _neighbour(net: NetworkConfig, node: int, port: int) -> int:
+    """Node reached by leaving ``node`` through ``port`` (with torus wrap)."""
+    x, y = net.coords(node)
+    if port == PORT_NORTH:
+        y -= 1
+    elif port == PORT_SOUTH:
+        y += 1
+    elif port == PORT_EAST:
+        x += 1
+    elif port == PORT_WEST:
+        x -= 1
+    else:
+        raise ValueError(f"port {port} has no neighbour")
+    if net.topology == "torus":
+        x %= net.width
+        y %= net.height
+    if not (0 <= x < net.width and 0 <= y < net.height):
+        raise ValueError(f"route walked off the mesh at ({x},{y})")
+    return net.node_id(x, y)
+
+
+class XYRouting(RoutingFunction):
+    """Dimension-order routing: resolve X first, then Y.
+
+    On a torus the shorter wrap direction is taken in each dimension
+    (still dimension-ordered, hence deadlock-free with 2 VCs per dimension
+    in general; our default experiments use the mesh where 1 VC suffices).
+    """
+
+    def output_port(self, node: int, dest: int) -> int:
+        net = self.network
+        x, y = net.coords(node)
+        dx_, dy_ = net.coords(dest)
+        if x == dx_ and y == dy_:
+            return PORT_LOCAL
+        if x != dx_:
+            return self._x_port(x, dx_)
+        return self._y_port(y, dy_)
+
+    def _x_port(self, x: int, dx_: int) -> int:
+        net = self.network
+        if net.topology == "torus":
+            right = (dx_ - x) % net.width
+            left = (x - dx_) % net.width
+            return PORT_EAST if right <= left else PORT_WEST
+        return PORT_EAST if dx_ > x else PORT_WEST
+
+    def _y_port(self, y: int, dy_: int) -> int:
+        net = self.network
+        if net.topology == "torus":
+            down = (dy_ - y) % net.height
+            up = (y - dy_) % net.height
+            return PORT_SOUTH if down <= up else PORT_NORTH
+        return PORT_SOUTH if dy_ > y else PORT_NORTH
+
+
+class YXRouting(XYRouting):
+    """Dimension-order routing that resolves Y before X.
+
+    Not used by the paper's experiments, but handy for tests (it must give
+    identical hop counts to XY on a mesh) and for the RoCo comparison model,
+    whose row/column decomposition pairs naturally with either order.
+    """
+
+    def output_port(self, node: int, dest: int) -> int:
+        net = self.network
+        x, y = net.coords(node)
+        dx_, dy_ = net.coords(dest)
+        if x == dx_ and y == dy_:
+            return PORT_LOCAL
+        if y != dy_:
+            return self._y_port(y, dy_)
+        return self._x_port(x, dx_)
+
+
+class LookaheadXYRouting(XYRouting):
+    """One-hop lookahead XY routing.
+
+    RoCo (Section III) achieves RC-stage fault tolerance via lookahead
+    routing: the *upstream* router computes the output port the flit will
+    need at the *next* router, so a faulty local RC unit can be skipped.
+    ``output_port`` keeps the XY semantics; :meth:`next_hop_port` exposes
+    the lookahead computation used by the RoCo model.
+    """
+
+    def next_hop_port(self, node: int, dest: int) -> int:
+        """Output port the packet will request at the next router."""
+        first = self.output_port(node, dest)
+        if first == PORT_LOCAL:
+            return PORT_LOCAL
+        nxt = _neighbour(self.network, node, first)
+        return self.output_port(nxt, dest)
+
+
+class WestFirstRouting(RoutingFunction):
+    """West-first turn-model adaptive routing (mesh only).
+
+    Extension beyond the paper (which uses XY): if the destination lies
+    to the west, the packet must travel fully west first (no turns into
+    west are ever taken later, which breaks all deadlock cycles); in
+    every other case *any* productive direction among {east, north,
+    south} is permitted, giving the RC unit freedom to route around
+    congestion — and, in the protected router, around output ports whose
+    normal *and* secondary paths have both died.
+    """
+
+    adaptive = True
+
+    def __init__(self, network: NetworkConfig) -> None:
+        super().__init__(network)
+        if network.topology != "mesh":
+            raise ValueError("west-first turn model requires a mesh")
+
+    def candidate_ports(self, node: int, dest: int) -> list[int]:
+        net = self.network
+        x, y = net.coords(node)
+        dx_, dy_ = net.coords(dest)
+        if x == dx_ and y == dy_:
+            return [PORT_LOCAL]
+        if dx_ < x:
+            # the turn model: all westward distance is covered first
+            return [PORT_WEST]
+        cands = []
+        if dx_ > x:
+            cands.append(PORT_EAST)
+        if dy_ > y:
+            cands.append(PORT_SOUTH)
+        elif dy_ < y:
+            cands.append(PORT_NORTH)
+        return cands
+
+    def output_port(self, node: int, dest: int) -> int:
+        return self.candidate_ports(node, dest)[0]
+
+
+def make_routing(network: NetworkConfig, kind: str = "xy") -> RoutingFunction:
+    """Factory for routing functions by name."""
+    if kind == "xy":
+        return XYRouting(network)
+    if kind == "yx":
+        return YXRouting(network)
+    if kind == "lookahead_xy":
+        return LookaheadXYRouting(network)
+    if kind == "west_first":
+        return WestFirstRouting(network)
+    raise ValueError(f"unknown routing kind {kind!r}")

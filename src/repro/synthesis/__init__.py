@@ -1,0 +1,54 @@
+"""Gate-level area/power/critical-path proxy (Cadence 45 nm substitute)."""
+
+from .area import AreaReport, analyze_area, area_overhead, area_overhead_vs_vcs
+from .gates import (
+    AREA_PER_TRANSISTOR_UM2,
+    Block,
+    DEFAULT_ACTIVITY,
+    GATE_DELAYS_PS,
+    gate_delay,
+)
+from .netlists import (
+    DETECTION_AREA_FRACTION,
+    DETECTION_POWER_FRACTION,
+    RouterNetlist,
+    baseline_netlist,
+    correction_netlist,
+    detection_netlist,
+    vc_state_field_bits,
+)
+from .power import PowerReport, analyze_power, power_overhead
+from .timing import (
+    CriticalPathReport,
+    StagePath,
+    analyze_critical_path,
+    baseline_paths,
+    protected_paths,
+)
+
+__all__ = [
+    "AREA_PER_TRANSISTOR_UM2",
+    "AreaReport",
+    "Block",
+    "CriticalPathReport",
+    "DEFAULT_ACTIVITY",
+    "DETECTION_AREA_FRACTION",
+    "DETECTION_POWER_FRACTION",
+    "GATE_DELAYS_PS",
+    "PowerReport",
+    "RouterNetlist",
+    "StagePath",
+    "analyze_area",
+    "analyze_critical_path",
+    "analyze_power",
+    "area_overhead",
+    "area_overhead_vs_vcs",
+    "baseline_netlist",
+    "baseline_paths",
+    "correction_netlist",
+    "detection_netlist",
+    "gate_delay",
+    "power_overhead",
+    "protected_paths",
+    "vc_state_field_bits",
+]

@@ -1,0 +1,75 @@
+"""Area analysis (paper Section VI-A).
+
+"Based on the synthesis results, the correction circuitry increases the
+area ... of the protected router by 28 % with respect to that of the
+baseline router.  Incorporating fault detection mechanism [18], the
+resulting area ... overhead is 31 %."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reliability.stages import RouterGeometry
+from .netlists import (
+    RouterNetlist,
+    baseline_netlist,
+    correction_netlist,
+    detection_netlist,
+)
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Areas (um^2) and overhead fractions for one router geometry."""
+
+    baseline_um2: float
+    correction_um2: float
+    detection_um2: float
+
+    @property
+    def protected_um2(self) -> float:
+        """Protected router without detection."""
+        return self.baseline_um2 + self.correction_um2
+
+    @property
+    def correction_overhead(self) -> float:
+        """Correction circuitry only (paper: ~28 %)."""
+        return self.correction_um2 / self.baseline_um2
+
+    @property
+    def total_overhead(self) -> float:
+        """Correction + detection (paper: ~31 %)."""
+        return (self.correction_um2 + self.detection_um2) / self.baseline_um2
+
+
+def analyze_area(geom: RouterGeometry | None = None) -> AreaReport:
+    """Synthesise (proxy) the three netlists and report overheads."""
+    geom = geom or RouterGeometry()
+    return AreaReport(
+        baseline_um2=baseline_netlist(geom).area_um2,
+        correction_um2=correction_netlist(geom).area_um2,
+        detection_um2=detection_netlist(geom).area_um2,
+    )
+
+
+def area_overhead(
+    geom: RouterGeometry | None = None, with_detection: bool = True
+) -> float:
+    """Overhead fraction used by the SPF analysis (paper uses 31 %)."""
+    rep = analyze_area(geom)
+    return rep.total_overhead if with_detection else rep.correction_overhead
+
+
+def area_overhead_vs_vcs(
+    vc_counts: list[int] | None = None,
+    num_ports: int = 5,
+    with_detection: bool = True,
+) -> dict[int, float]:
+    """Overhead fraction per VC count (feeds the SPF sensitivity study)."""
+    vc_counts = vc_counts or [2, 3, 4, 6, 8]
+    out = {}
+    for v in vc_counts:
+        geom = RouterGeometry(num_ports=num_ports, num_vcs=v)
+        out[v] = area_overhead(geom, with_detection=with_detection)
+    return out

@@ -1,0 +1,115 @@
+"""45 nm standard-cell proxy: area, power, and delay factors.
+
+Substitutes for Cadence Encounter RTL Compiler + a commercial 45 nm
+library (paper Section VI).  The model is deliberately simple and fully
+documented:
+
+* **Area** — proportional to transistor count.  The density factor is in
+  the range of NanGate 45 nm open-cell figures (an INV_X1 is ~0.53 um^2
+  for 4 devices, i.e. ~0.13 um^2 per transistor; larger cells are denser,
+  sequential cells slightly less so).
+* **Power** — static (leakage) proportional to transistor count; dynamic
+  proportional to transistor count x switching activity x clock factor.
+  Flip-flop-heavy blocks carry a clock-load multiplier because their
+  clock pins toggle every cycle regardless of data activity.
+* **Delay** — a per-cell-type table in picoseconds used by the critical
+  path model (:mod:`repro.synthesis.timing`).
+
+The reproduction target is the paper's *ratios* (area/power overhead
+percentages, per-stage critical-path deltas), which are robust to the
+absolute calibration; absolute um^2/mW values are indicative only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: um^2 of layout area per transistor (45 nm standard-cell ballpark).
+AREA_PER_TRANSISTOR_UM2 = 0.14
+
+#: nW of leakage per transistor at 45 nm, 1.0 V, 300 K (order of magnitude).
+LEAKAGE_PER_TRANSISTOR_NW = 1.0
+
+#: nW of dynamic power per transistor at unit activity, 1 GHz, 1.0 V.
+DYNAMIC_PER_TRANSISTOR_NW = 12.0
+
+#: Clock-load multiplier for flip-flop transistors: their clock pins
+#: switch every cycle, so sequential cells burn proportionally more
+#: dynamic power than combinational logic at the same data activity.
+DFF_CLOCK_POWER_FACTOR = 1.5
+
+#: Default switching activity of combinational router logic.
+DEFAULT_ACTIVITY = 0.20
+
+
+@dataclass(frozen=True)
+class Block:
+    """One synthesis block: a bag of transistors with uniform character.
+
+    ``sequential`` marks flip-flop transistors (clock-load factor applies);
+    ``activity`` is the data switching activity used for dynamic power.
+    """
+
+    name: str
+    transistors: float
+    sequential: bool = False
+    activity: float = DEFAULT_ACTIVITY
+
+    def __post_init__(self) -> None:
+        if self.transistors < 0:
+            raise ValueError("transistor count must be >= 0")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+
+    @property
+    def area_um2(self) -> float:
+        return self.transistors * AREA_PER_TRANSISTOR_UM2
+
+    @property
+    def static_power_nw(self) -> float:
+        return self.transistors * LEAKAGE_PER_TRANSISTOR_NW
+
+    @property
+    def dynamic_power_nw(self) -> float:
+        clock = DFF_CLOCK_POWER_FACTOR if self.sequential else 1.0
+        return (
+            self.transistors
+            * DYNAMIC_PER_TRANSISTOR_NW
+            * self.activity
+            * clock
+        )
+
+    @property
+    def total_power_nw(self) -> float:
+        return self.static_power_nw + self.dynamic_power_nw
+
+
+#: Gate delays in picoseconds (45 nm, typical corner, FO4-ish loads).
+GATE_DELAYS_PS = {
+    "inv": 12.0,
+    "nand2": 16.0,
+    "nor2": 18.0,
+    "and2": 22.0,
+    "xor2": 28.0,
+    "mux2": 24.0,
+    "mux4": 42.0,
+    "mux5": 48.0,
+    "demux2": 20.0,
+    "demux3": 26.0,
+    "dff_cq": 55.0,  # clock-to-Q
+    "dff_setup": 30.0,
+    "comparator_bit": 30.0,
+    "arbiter_per_level": 26.0,
+    "priority_scan": 34.0,
+}
+
+
+def gate_delay(kind: str) -> float:
+    """Delay of one gate/cell type in picoseconds."""
+    try:
+        return GATE_DELAYS_PS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown gate kind {kind!r}; known: {sorted(GATE_DELAYS_PS)}"
+        ) from None

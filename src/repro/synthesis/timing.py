@@ -1,0 +1,157 @@
+"""Critical-path analysis (paper Section VI-B).
+
+"...we synthesized individual pipeline stages of both the baseline and
+protected router at varying clock periods.  The critical path of an
+individual stage is calculated by finding out the specific clock period
+that results in zero slack time.  Since RC stage employs spatial
+redundancy, there is negligible impact on the critical path of this
+stage.  However, due to the correction circuitry, critical paths of VA,
+SA and XB stages have increased by 20 %, 10 % and 25 % with respect to
+the baseline stages."
+
+The proxy models each stage's longest register-to-register path as a
+chain of cells from the :mod:`repro.synthesis.gates` delay table, for the
+baseline stage and with the correction circuitry inserted:
+
+* **RC** — comparator tree; the duplicate unit computes in parallel and
+  only a (pre-set, fault-latched) selection mux is added, off the data
+  critical path except for its own propagation.
+* **VA** — stage-1 v:1 arbiter + stage-2 pi*v:1 arbiter; the FT version
+  inserts the borrow mux and the G-field priority scan in front of
+  stage 1.
+* **SA** — stage-1 v:1 arbiter + stage-2 pi:1 arbiter; the FT version
+  adds the 2:1 bypass mux after stage 1.
+* **XB** — the pi:1 data mux; the FT version adds the demux and the 2:1
+  output mux (P1..P5) in series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..reliability.stages import RouterGeometry
+from .gates import gate_delay
+
+
+def _arbiter_levels(requests: int) -> int:
+    """Logic levels of a round-robin arbiter ~ log2(requests) + priority."""
+    return max(1, math.ceil(math.log2(max(2, requests)))) + 1
+
+
+@dataclass(frozen=True)
+class StagePath:
+    """One stage's critical path: named cells and their summed delay."""
+
+    stage: str
+    cells: tuple[tuple[str, float], ...]
+
+    @property
+    def delay_ps(self) -> float:
+        return sum(d for _, d in self.cells)
+
+
+def _path(stage: str, cells: list[tuple[str, float]]) -> StagePath:
+    return StagePath(stage, tuple(cells))
+
+
+def baseline_paths(geom: RouterGeometry | None = None) -> dict[str, StagePath]:
+    """Longest paths of the four baseline stages."""
+    geom = geom or RouterGeometry()
+    P, V = geom.num_ports, geom.num_vcs
+    cq, setup = gate_delay("dff_cq"), gate_delay("dff_setup")
+    arb = gate_delay("arbiter_per_level")
+
+    rc = _path("RC", [
+        ("dff C-to-Q", cq),
+        ("X comparator", geom.dest_bits * gate_delay("comparator_bit") / 2),
+        ("Y comparator", geom.dest_bits * gate_delay("comparator_bit") / 2),
+        ("direction select", gate_delay("mux4")),
+        ("dff setup", setup),
+    ])
+    va = _path("VA", [
+        ("dff C-to-Q", cq),
+        ("stage-1 v:1 arbiter", _arbiter_levels(V) * arb),
+        ("stage-2 pi*v:1 arbiter", _arbiter_levels(P * V) * arb),
+        ("grant encode", gate_delay("mux4")),
+        ("dff setup", setup),
+    ])
+    sa = _path("SA", [
+        ("dff C-to-Q", cq),
+        ("stage-1 v:1 arbiter", _arbiter_levels(V) * arb),
+        ("stage-2 pi:1 arbiter", _arbiter_levels(P) * arb),
+        ("xbar select encode", gate_delay("mux4")),
+        ("dff setup", setup),
+    ])
+    xb = _path("XB", [
+        ("dff C-to-Q", cq),
+        ("pi:1 data mux", gate_delay("mux5")),
+        ("crossbar wire RC", 20.0),
+        ("output drive", gate_delay("inv") * 2),
+        ("dff setup", setup),
+    ])
+    return {"RC": rc, "VA": va, "SA": sa, "XB": xb}
+
+
+def protected_paths(geom: RouterGeometry | None = None) -> dict[str, StagePath]:
+    """Longest paths with the correction circuitry inserted."""
+    geom = geom or RouterGeometry()
+    base = baseline_paths(geom)
+
+    def extended(stage: str, extra: list[tuple[str, float]]) -> StagePath:
+        b = base[stage]
+        # insert extras before the final setup element
+        cells = list(b.cells[:-1]) + extra + [b.cells[-1]]
+        return StagePath(stage, tuple(cells))
+
+    rc = extended("RC", [
+        ("unit-select mux (fault latch preset)", gate_delay("inv")),
+    ])
+    va = extended("VA", [
+        ("G-field priority scan (lender pick)", gate_delay("priority_scan")),
+        ("borrow mux (R2/own RC result)", gate_delay("mux2")),
+        ("VF gating", gate_delay("nand2")),
+    ])
+    sa = extended("SA", [
+        ("bypass 2:1 mux", gate_delay("mux2")),
+        ("default-winner register gate", gate_delay("inv")),
+    ])
+    xb = extended("XB", [
+        ("secondary demux", gate_delay("demux2")),
+        ("P output 2:1 mux", gate_delay("mux2")),
+    ])
+    return {"RC": rc, "VA": va, "SA": sa, "XB": xb}
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Per-stage baseline/protected delays and the overhead fractions."""
+
+    baseline_ps: dict[str, float]
+    protected_ps: dict[str, float]
+
+    def overhead(self, stage: str) -> float:
+        return self.protected_ps[stage] / self.baseline_ps[stage] - 1.0
+
+    @property
+    def overheads(self) -> dict[str, float]:
+        return {s: self.overhead(s) for s in self.baseline_ps}
+
+    @property
+    def min_clock_period_baseline_ps(self) -> float:
+        """Zero-slack clock period of the baseline router (slowest stage)."""
+        return max(self.baseline_ps.values())
+
+    @property
+    def min_clock_period_protected_ps(self) -> float:
+        return max(self.protected_ps.values())
+
+
+def analyze_critical_path(
+    geom: RouterGeometry | None = None,
+) -> CriticalPathReport:
+    geom = geom or RouterGeometry()
+    return CriticalPathReport(
+        baseline_ps={s: p.delay_ps for s, p in baseline_paths(geom).items()},
+        protected_ps={s: p.delay_ps for s, p in protected_paths(geom).items()},
+    )

@@ -1,0 +1,177 @@
+"""Traffic sources: temporal injection processes on top of spatial patterns.
+
+The generator is vectorised with NumPy per the hpc-parallel guides: one RNG
+call per cycle decides which of the N nodes inject, rather than N Python-
+level draws.
+
+* :class:`SyntheticTraffic` — Bernoulli (or bursty ON/OFF Markov) injection
+  at a given rate in flits/node/cycle, with a configurable packet-size mix
+  (e.g. coherence-style 1-flit control + 5-flit data packets on separate
+  virtual networks).
+* :class:`TraceTraffic` — replays an explicit packet trace
+  (see :mod:`repro.traffic.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..config import NetworkConfig
+from ..router.flit import Packet
+from .patterns import TrafficPattern, UniformRandom
+
+
+@dataclass(frozen=True)
+class PacketClass:
+    """One packet species in the traffic mix.
+
+    ``weight`` is the relative probability of this class; ``size_flits``
+    its length; ``vnet`` the virtual network it travels on (request/reply
+    separation for coherence-style traffic).
+    """
+
+    size_flits: int
+    vnet: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError("packets need at least one flit")
+        if self.weight <= 0:
+            raise ValueError("class weight must be positive")
+
+
+#: GEM5 MOESI-style mix: 1-flit requests/control, 5-flit data replies.
+COHERENCE_MIX = (
+    PacketClass(size_flits=1, vnet=0, weight=0.6),
+    PacketClass(size_flits=5, vnet=1, weight=0.4),
+)
+
+#: Single-class mix used by simple synthetic experiments.
+SINGLE_FLIT_MIX = (PacketClass(size_flits=1, vnet=0, weight=1.0),)
+
+
+class SyntheticTraffic:
+    """Random traffic: spatial pattern x temporal process x packet mix.
+
+    ``injection_rate`` is in *flits* per node per cycle (the standard NoC
+    load metric); the per-cycle packet-start probability is derived from
+    the mix's mean packet length.
+
+    With ``burstiness`` > 0 the source follows a two-state ON/OFF Markov
+    process with the same average rate but bursty arrivals (real
+    application traffic — SPLASH-2/PARSEC — is bursty; the app surrogates
+    in :mod:`repro.traffic.apps` build on this).
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        injection_rate: float,
+        pattern: Optional[TrafficPattern] = None,
+        mix: Sequence[PacketClass] = SINGLE_FLIT_MIX,
+        rng: np.random.Generator | int | None = None,
+        burstiness: float = 0.0,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> None:
+        if injection_rate < 0:
+            raise ValueError("injection rate must be >= 0")
+        if not mix:
+            raise ValueError("need at least one packet class")
+        if not 0.0 <= burstiness < 1.0:
+            raise ValueError("burstiness must be in [0, 1)")
+        self.config = config
+        self.injection_rate = injection_rate
+        self.pattern = pattern or UniformRandom(config)
+        self.mix = tuple(mix)
+        self.rng = np.random.default_rng(rng)
+        self.burstiness = burstiness
+
+        weights = np.array([c.weight for c in self.mix], dtype=float)
+        self._class_prob = weights / weights.sum()
+        self._mean_len = float(
+            sum(c.size_flits * p for c, p in zip(self.mix, self._class_prob))
+        )
+        #: probability a node starts a packet in a cycle
+        self.packet_rate = injection_rate / self._mean_len
+        if self.packet_rate > 1.0:
+            raise ValueError(
+                f"injection rate {injection_rate} flits/node/cycle exceeds "
+                f"1 packet/node/cycle for mean length {self._mean_len}"
+            )
+        self._nodes = np.asarray(
+            nodes if nodes is not None else np.arange(config.num_nodes)
+        )
+        # ON/OFF process state: start all-ON for burstiness == 0
+        self._on = np.ones(len(self._nodes), dtype=bool)
+        if burstiness > 0.0:
+            # Mean burst length grows with burstiness; duty cycle 50 %,
+            # so the ON-state rate is doubled to preserve the average.
+            self._p_exit = (1.0 - burstiness) * 0.1
+            self._on = self.rng.random(len(self._nodes)) < 0.5
+        else:
+            self._p_exit = 0.0
+
+    # ------------------------------------------------------------------
+    def _effective_rate(self) -> np.ndarray:
+        if self.burstiness == 0.0:
+            return np.full(len(self._nodes), self.packet_rate)
+        rate = np.where(self._on, 2.0 * self.packet_rate, 0.0)
+        return np.minimum(rate, 1.0)
+
+    def _advance_onoff(self) -> None:
+        if self.burstiness == 0.0:
+            return
+        flips = self.rng.random(len(self._nodes)) < self._p_exit
+        self._on = np.where(flips, ~self._on, self._on)
+
+    def generate(self, cycle: int) -> Iterator[Packet]:
+        """Packets created at ``cycle`` (TrafficSource protocol)."""
+        self._advance_onoff()
+        starts = self.rng.random(len(self._nodes)) < self._effective_rate()
+        if not np.any(starts):
+            return
+        sources = self._nodes[starts]
+        dests = self.pattern.destinations(sources, self.rng)
+        classes = self.rng.choice(
+            len(self.mix), size=len(sources), p=self._class_prob
+        )
+        for src, dst, ci in zip(sources, dests, classes):
+            cls = self.mix[int(ci)]
+            yield Packet(
+                src=int(src),
+                dest=int(dst),
+                size_flits=cls.size_flits,
+                vnet=cls.vnet,
+                creation_cycle=cycle,
+            )
+
+
+class TraceTraffic:
+    """Replays packets from an iterable sorted by creation cycle."""
+
+    def __init__(self, packets: Iterable[Packet]) -> None:
+        self._packets = sorted(packets, key=lambda p: p.creation_cycle)
+        self._next = 0
+
+    def generate(self, cycle: int) -> Iterator[Packet]:
+        while (
+            self._next < len(self._packets)
+            and self._packets[self._next].creation_cycle <= cycle
+        ):
+            yield self._packets[self._next]
+            self._next += 1
+
+    @property
+    def remaining(self) -> int:
+        return len(self._packets) - self._next
+
+
+class NullTraffic:
+    """No traffic at all (used by fault-behaviour unit tests)."""
+
+    def generate(self, cycle: int) -> Iterator[Packet]:
+        return iter(())

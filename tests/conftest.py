@@ -1,0 +1,137 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import ProtectedRouter, protected_router_factory
+from repro.network.simulator import NoCSimulator, baseline_router_factory
+from repro.router.flit import Packet, reset_packet_ids
+from repro.router.router import BaselineRouter
+from repro.router.routing import XYRouting
+from repro.traffic.generator import NullTraffic, SyntheticTraffic
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Keep packet ids deterministic per test."""
+    reset_packet_ids()
+    yield
+
+
+def make_network_config(width=4, height=4, **router_kwargs) -> NetworkConfig:
+    return NetworkConfig(
+        width=width, height=height, router=RouterConfig(**router_kwargs)
+    )
+
+
+def make_sim(
+    net: NetworkConfig,
+    *,
+    protected: bool = False,
+    injection_rate: float = 0.05,
+    warmup: int = 100,
+    measure: int = 1500,
+    drain: int = 3000,
+    seed: int = 7,
+    traffic=None,
+    fault_schedule=None,
+    watchdog: int = 2000,
+    **sim_kwargs,
+) -> NoCSimulator:
+    sim_cfg = SimulationConfig(
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        drain_cycles=drain,
+        seed=seed,
+        watchdog_cycles=watchdog,
+    )
+    if traffic is None:
+        traffic = SyntheticTraffic(net, injection_rate=injection_rate, rng=seed)
+    factory = protected_router_factory(net) if protected else baseline_router_factory(net)
+    return NoCSimulator(
+        net, sim_cfg, traffic, router_factory=factory,
+        fault_schedule=fault_schedule, **sim_kwargs,
+    )
+
+
+class FakeScheduler:
+    """Stand-in EventScheduler for single-router unit tests.
+
+    Records flit deliveries and credit returns instead of routing them
+    through a fabric.
+    """
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.delivered: list[tuple[int, int, int, object]] = []
+        self.credits: list[tuple[int, int, int]] = []
+
+    def deliver_flit(self, src_node, out_port, out_vc, flit) -> None:
+        self.delivered.append((src_node, out_port, out_vc, flit))
+
+    def return_credit(self, node, in_port, wire_vc) -> None:
+        self.credits.append((node, in_port, wire_vc))
+
+
+class SingleRouterHarness:
+    """Drives one router through its pipeline phases without a network.
+
+    The router sits (conceptually) at the centre of a 3x3 mesh so every
+    output direction is meaningful for XY routing.
+    """
+
+    def __init__(self, protected: bool = False, **router_kwargs) -> None:
+        self.net = NetworkConfig(
+            width=3, height=3, router=RouterConfig(**router_kwargs)
+        )
+        routing = XYRouting(self.net)
+        cls = ProtectedRouter if protected else BaselineRouter
+        self.router = cls(4, self.net.router, routing)  # node 4 = centre
+        self.sched = FakeScheduler()
+        self.cycle = 0
+        #: flits waiting to be drip-fed into (port, wire_vc), in order
+        self._pending: dict[tuple[int, int], list] = {}
+
+    def inject(self, port: int, wire_vc: int, packet: Packet) -> None:
+        """Queue a packet's flits for an input VC; fed as slots free up
+        (like a real upstream router respecting credits)."""
+        self._pending.setdefault((port, wire_vc), []).extend(packet.flits())
+        self._feed()
+
+    def _feed(self) -> None:
+        for (port, wire_vc), queue in self._pending.items():
+            vc = self.router.in_ports[port].by_wire(wire_vc)
+            while queue and vc.free_slots > 0:
+                flit = queue.pop(0)
+                flit.injection_cycle = self.cycle
+                self.router.receive_flit(port, wire_vc, flit, self.cycle)
+
+    def step(self, n: int = 1) -> None:
+        for _ in range(n):
+            self.sched.cycle = self.cycle
+            self.router.xb_phase(self.sched, self.cycle)
+            self.router.sa_phase(self.cycle)
+            self.router.va_phase(self.cycle)
+            self.router.rc_phase(self.cycle)
+            self._feed()
+            self.cycle += 1
+
+    def run_until_delivered(self, n_flits: int, max_cycles: int = 200) -> bool:
+        """Step until ``n_flits`` flits left the router (or give up)."""
+        for _ in range(max_cycles):
+            if len(self.sched.delivered) >= n_flits:
+                return True
+            self.step()
+        return len(self.sched.delivered) >= n_flits
+
+
+@pytest.fixture
+def harness():
+    return SingleRouterHarness()
+
+
+@pytest.fixture
+def protected_harness():
+    return SingleRouterHarness(protected=True)

@@ -1,0 +1,155 @@
+"""Tests for the online-detection layer and the transient-fault extension."""
+
+import pytest
+
+from repro.config import PORT_EAST, PORT_WEST, RouterConfig
+from repro.faults.detection import NetworkDetector, OnlineDetector
+from repro.faults.sites import FaultSite, FaultUnit
+from repro.faults.transient import (
+    TransientFault,
+    TransientFaultInjector,
+    random_transients,
+)
+from repro.router.flit import Packet
+
+from conftest import SingleRouterHarness, make_network_config, make_sim
+
+
+class TestOnlineDetector:
+    def _harness_with_detector(self):
+        h = SingleRouterHarness(protected=True)
+        return h, OnlineDetector(h.router)
+
+    def test_rc_fault_detected_when_exercised(self):
+        h, det = self._harness_with_detector()
+        site = FaultSite(4, FaultUnit.RC_PRIMARY, PORT_WEST)
+        h.router.inject_fault(site)
+        assert det.watch(site, cycle=0)
+        assert det.poll(0) == []  # latent until traffic arrives
+        h.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        h.step(2)
+        events = det.poll(h.cycle)
+        assert len(events) == 1
+        assert events[0].detection_latency >= 1
+        assert det.pending == 0
+
+    def test_latent_spare_faults_not_observable(self):
+        h, det = self._harness_with_detector()
+        site = FaultSite(4, FaultUnit.RC_DUPLICATE, PORT_WEST)
+        h.router.inject_fault(site)
+        assert not det.watch(site, cycle=0)
+        assert not det.observable(site)
+
+    def test_xb_fault_detected_via_secondary_path(self):
+        h, det = self._harness_with_detector()
+        site = FaultSite(4, FaultUnit.XB_MUX, PORT_EAST)
+        h.router.inject_fault(site)
+        det.watch(site, cycle=0)
+        h.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        h.step(6)
+        assert det.poll(h.cycle)
+        assert det.mean_detection_latency() >= 1
+
+    def test_no_events_without_faults(self):
+        h, det = self._harness_with_detector()
+        h.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        h.step(6)
+        assert det.poll(h.cycle) == []
+        assert det.mean_detection_latency() is None
+
+
+class TestNetworkDetector:
+    def test_fleetwide_detection(self):
+        net = make_network_config(3, 3)
+        sim = make_sim(net, protected=True, injection_rate=0.1, measure=800)
+        det = NetworkDetector(sim.routers)
+        site = FaultSite(4, FaultUnit.SA1_ARBITER, PORT_WEST)
+        sim.routers[4].inject_fault(site)
+        det.watch(site, 0)
+        res = sim.run()
+        assert not res.blocked
+        events = det.poll(res.cycles)
+        assert len(det.events) == 1
+        assert det.pending == 0
+        assert det.mean_detection_latency() > 0
+        del events
+
+
+class TestTransientFault:
+    def test_validation(self):
+        site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
+        with pytest.raises(ValueError):
+            TransientFault(0, site, duration=0)
+        with pytest.raises(ValueError):
+            TransientFault(-1, site)
+
+    def test_heal_cycle(self):
+        site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
+        t = TransientFault(10, site, duration=5)
+        assert t.heal_cycle == 15
+
+    def test_injector_schedules_inject_and_heal(self):
+        site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
+        inj = TransientFaultInjector([TransientFault(5, site, duration=3)])
+        assert list(inj.due(4)) == []
+        assert list(inj.due(5)) == [site]
+        assert list(inj.heals_due(7)) == []
+        assert list(inj.heals_due(8)) == [site]
+
+    def test_overlapping_transients_merge(self):
+        site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
+        inj = TransientFaultInjector(
+            [TransientFault(5, site, 3), TransientFault(6, site, 10)]
+        )
+        # heals once, at the later heal time (16)
+        assert list(inj.heals_due(15)) == []
+        assert list(inj.heals_due(16)) == [site]
+
+    def test_network_recovers_after_transient(self):
+        """A transient SA fault degrades then fully heals: the run drains
+        and the router ends fault-free."""
+        net = make_network_config(3, 3)
+        site = FaultSite(4, FaultUnit.SA1_ARBITER, PORT_WEST)
+        inj = TransientFaultInjector([TransientFault(100, site, duration=200)])
+        sim = make_sim(
+            net, protected=True, injection_rate=0.08, measure=1200,
+            fault_schedule=inj,
+        )
+        inj.attach(sim)
+        res = sim.run()
+        assert not res.blocked and res.drained
+        assert res.stats.packets_ejected == res.stats.packets_created
+        assert not sim.routers[4].faults.any_faults  # healed
+        assert res.router_stats.sa_bypass_grants > 0  # absorbed meanwhile
+
+    def test_random_transients_deterministic(self):
+        a = random_transients(RouterConfig(), 4, 0.01, 1000, rng=3)
+        b = random_transients(RouterConfig(), 4, 0.01, 1000, rng=3)
+        assert [(t.cycle, t.site) for t in a] == [(t.cycle, t.site) for t in b]
+        assert len(a) == pytest.approx(10, abs=8)
+
+    def test_random_transients_validation(self):
+        with pytest.raises(ValueError):
+            random_transients(RouterConfig(), 4, 1.5, 100)
+        with pytest.raises(ValueError):
+            random_transients(RouterConfig(), 4, 0.1, 0)
+
+    def test_transient_barrage_preserves_invariants(self):
+        net = make_network_config(3, 3)
+        transients = random_transients(
+            net.router, net.num_nodes, rate_per_cycle=0.02, cycles=800,
+            duration=30, rng=7,
+        )
+        inj = TransientFaultInjector(transients)
+        sim = make_sim(
+            net, protected=True, injection_rate=0.06, measure=800,
+            drain=6000, fault_schedule=inj, watchdog=5000,
+        )
+        inj.attach(sim)
+        res = sim.run()
+        sim.check_invariants()
+        # transients can transiently create a failing combination, but the
+        # network must still conserve flits
+        assert res.stats.flits_ejected <= res.stats.flits_injected
+        if not res.blocked:
+            assert res.stats.packets_ejected == res.stats.packets_created

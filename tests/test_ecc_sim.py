@@ -1,0 +1,87 @@
+"""Tests for the end-to-end ECC datapath study."""
+
+import pytest
+
+from repro.comparison.ecc_sim import (
+    DatapathFaultyRouter,
+    run_ecc_study,
+)
+from repro.config import NetworkConfig
+from repro.router.routing import XYRouting
+
+
+class TestDatapathFaultyRouter:
+    def test_no_faults_no_flips(self):
+        net = NetworkConfig(width=3, height=3)
+        r = DatapathFaultyRouter(4, net.router, XYRouting(net), rng=1)
+        from repro.comparison.vicis import HammingSECDED
+        from repro.router.flit import Packet
+
+        ecc = HammingSECDED(16)
+        pkt = Packet(src=3, dest=5, size_flits=1,
+                     payload={"value": 7, "codeword": ecc.encode(7), "ecc": ecc})
+        for f in pkt.flits():
+            r.receive_flit(4, 0, f, 0)
+        assert r.bits_flipped == 0
+
+    def test_faulty_port_flips_codeword(self):
+        net = NetworkConfig(width=3, height=3)
+        r = DatapathFaultyRouter(4, net.router, XYRouting(net), rng=1)
+        r.datapath_fault_ports.add(4)
+        from repro.comparison.vicis import HammingSECDED
+        from repro.router.flit import Packet
+
+        ecc = HammingSECDED(16)
+        original = ecc.encode(0x1234)
+        pkt = Packet(src=3, dest=5, size_flits=1,
+                     payload={"value": 0x1234, "codeword": original, "ecc": ecc})
+        flits = list(pkt.flits())
+        for f in flits:
+            r.receive_flit(4, 0, f, 0)
+        assert r.bits_flipped == 1
+        stored = r.in_ports[4].by_wire(0).front()
+        assert stored.payload["codeword"] != original
+        data, status = ecc.decode(stored.payload["codeword"])
+        assert (data, status) == (0x1234, "corrected")
+
+    def test_non_codeword_payloads_untouched(self):
+        net = NetworkConfig(width=3, height=3)
+        r = DatapathFaultyRouter(4, net.router, XYRouting(net), rng=1)
+        r.datapath_fault_ports.add(4)
+        from repro.router.flit import Packet
+
+        pkt = Packet(src=3, dest=5, size_flits=1, payload={"value": 9})
+        for f in pkt.flits():
+            r.receive_flit(4, 0, f, 0)
+        assert r.bits_flipped == 0
+
+
+class TestECCStudy:
+    def test_clean_network_all_clean(self):
+        res = run_ecc_study(
+            faulty_ports_per_router=0.0, measure_cycles=800, seed=2
+        )
+        assert res.corrected == 0
+        assert res.uncorrectable == 0
+        assert res.clean > 0
+        assert res.protected_fraction == 1.0
+
+    def test_faulty_network_corrects_most(self):
+        res = run_ecc_study(
+            faulty_ports_per_router=0.3, measure_cycles=1200, seed=1
+        )
+        assert res.bits_flipped > 0
+        assert res.corrected > 0
+        # SECDED: single flips always corrected, never silently wrong
+        assert res.silent_corruptions == 0
+        assert res.protected_fraction > 0.95
+
+    def test_decode_accounting_complete(self):
+        res = run_ecc_study(
+            faulty_ports_per_router=0.2, measure_cycles=800, seed=3
+        )
+        assert res.total_codewords == res.packets_delivered
+
+    def test_rejects_bad_fault_density(self):
+        with pytest.raises(ValueError):
+            run_ecc_study(faulty_ports_per_router=9.0)

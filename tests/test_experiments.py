@@ -1,0 +1,149 @@
+"""Tests for the experiment harness (reports, runner, analytic experiments,
+and quick-config latency experiments)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.latency import (
+    LatencyConfig,
+    QUICK_CONFIG,
+    overall_overhead,
+    run_app_pair,
+    run_suite,
+)
+from repro.experiments.report import ExperimentResult, Row
+from repro.experiments import area_power, critical_path, mttf, spf_sweep, table1, table2, table3
+from repro.traffic.apps import app_profile
+
+
+class TestReport:
+    def test_relative_error(self):
+        assert Row("x", 11.0, 10.0).relative_error() == pytest.approx(0.1)
+        assert Row("x", 11.0, None).relative_error() is None
+        assert Row("x", True, True).relative_error() == 0.0
+        assert Row("x", "text", 3).relative_error() is None
+
+    def test_result_lookup_and_format(self):
+        res = ExperimentResult("t", "title")
+        res.add("alpha", 1.0, 2.0, unit="h", note="why")
+        assert res.row("alpha").measured == 1.0
+        with pytest.raises(KeyError):
+            res.row("beta")
+        text = res.format()
+        assert "alpha" in text and "title" in text and "why" in text
+
+    def test_max_relative_error(self):
+        res = ExperimentResult("t", "title")
+        res.add("a", 11.0, 10.0)
+        res.add("b", 10.0, 10.0)
+        assert res.max_relative_error() == pytest.approx(0.1)
+
+
+class TestAnalyticExperiments:
+    def test_table1_close_to_paper(self):
+        res = table1.run()
+        # everything within 1 % of the printed table
+        assert res.max_relative_error() < 0.01
+
+    def test_table2_exact(self):
+        res = table2.run()
+        assert res.max_relative_error() < 1e-9
+
+    def test_mttf_headline(self):
+        res = mttf.run(mc_samples=20_000)
+        assert res.row("MTTF protected (paper Eq.5)").relative_error() < 0.01
+        assert res.row("reliability improvement (paper)").measured == pytest.approx(
+            6.18, abs=0.05
+        )
+
+    def test_table3_ordering(self):
+        res = table3.run(mc_trials=100)
+        assert res.row("proposed router has highest SPF").measured is True
+
+    def test_spf_sweep_shape(self):
+        res = spf_sweep.run()
+        assert res.row("SPF monotonically increases with VCs").measured is True
+
+    def test_area_power_bands(self):
+        res = area_power.run()
+        assert 0.2 < res.row("area overhead (with detection)").measured < 0.4
+        assert 0.2 < res.row("power overhead (with detection)").measured < 0.4
+
+    def test_critical_path_ordering(self):
+        res = critical_path.run()
+        rep = res.extras["report"]
+        assert rep.overhead("XB") > rep.overhead("SA")
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        paper_artifacts = {
+            "table1",
+            "table2",
+            "mttf",
+            "table3",
+            "spf_sweep",
+            "area_power",
+            "critical_path",
+            "fig7",
+            "fig8",
+        }
+        extensions = {
+            "load_latency",
+            "network_reliability",
+            "reliability_curves",
+            "energy",
+            "detection_latency",
+            "fault_sweep",
+            "design_space",
+            "mttf_sensitivity",
+        }
+        assert set(EXPERIMENTS) == paper_artifacts | extensions
+
+    def test_run_experiment_dispatch(self):
+        res = run_experiment("table2")
+        assert res.experiment == "table2"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig9")
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "correction" in out
+
+
+class TestLatencyHarness:
+    def test_quick_config_app_pair(self):
+        r = run_app_pair(app_profile("water-nsq"), QUICK_CONFIG)
+        assert r.fault_free > 0
+        assert r.faulty >= r.fault_free * 0.95
+        assert r.fault_free_result.drained
+
+    def test_run_suite_subset(self):
+        res = run_suite("splash2", QUICK_CONFIG, apps=["lu"])
+        assert len(res) == 1 and res[0].app == "lu"
+
+    def test_run_suite_unknown_app(self):
+        with pytest.raises(ValueError):
+            run_suite("splash2", QUICK_CONFIG, apps=["doom"])
+
+    def test_overall_overhead_requires_results(self):
+        with pytest.raises(ValueError):
+            overall_overhead([])
+
+    def test_faulty_run_injects_requested_faults(self):
+        from repro.experiments.latency import run_app
+
+        res = run_app(app_profile("lu"), QUICK_CONFIG, faulty=True)
+        assert res.faults_injected == QUICK_CONFIG.num_faults
+
+    def test_latency_config_validation(self):
+        cfg = LatencyConfig(width=4, height=4)
+        net = cfg.network()
+        assert net.num_nodes == 16
+        sim = cfg.simulation()
+        assert sim.measure_cycles == cfg.measure_cycles

@@ -1,0 +1,136 @@
+"""Tests for the Section VIII failure predicates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RouterConfig
+from repro.core.failure import (
+    baseline_router_failed,
+    failed_stages,
+    protected_router_failed,
+    rc_port_failed,
+    sa_port_failed,
+    va2_output_failed,
+    va_port_failed,
+    xb_output_failed,
+)
+from repro.faults.sites import FaultSite, FaultUnit, RouterFaultState, enumerate_sites
+
+
+def fs(**router_kwargs):
+    return RouterFaultState(RouterConfig(**router_kwargs))
+
+
+class TestPerStagePredicates:
+    def test_rc_needs_both_units(self):
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.RC_PRIMARY, 2))
+        assert not rc_port_failed(f, 2)
+        f.inject(FaultSite(0, FaultUnit.RC_DUPLICATE, 2))
+        assert rc_port_failed(f, 2)
+
+    def test_rc_different_ports_not_failure(self):
+        """Section VIII-A: max 5 faults tolerated, one per port."""
+        f = fs()
+        for p in range(5):
+            f.inject(FaultSite(0, FaultUnit.RC_PRIMARY, p))
+        assert not any(rc_port_failed(f, p) for p in range(5))
+        assert not protected_router_failed(f)
+
+    def test_va_needs_all_sets(self):
+        f = fs()
+        for v in range(3):
+            f.inject(FaultSite(0, FaultUnit.VA1_ARBITER_SET, 1, v))
+        assert not va_port_failed(f, 1)
+        f.inject(FaultSite(0, FaultUnit.VA1_ARBITER_SET, 1, 3))
+        assert va_port_failed(f, 1)
+
+    def test_va_fifteen_spread_faults_tolerated(self):
+        """Section VIII-B: 3 faults x 5 ports = 15 tolerated."""
+        f = fs()
+        for p in range(5):
+            for v in range(3):
+                f.inject(FaultSite(0, FaultUnit.VA1_ARBITER_SET, p, v))
+        assert not protected_router_failed(f)
+
+    def test_sa_needs_arbiter_and_bypass(self):
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.SA1_ARBITER, 3))
+        assert not sa_port_failed(f, 3)
+        f.inject(FaultSite(0, FaultUnit.SA1_BYPASS, 3))
+        assert sa_port_failed(f, 3)
+
+    def test_xb_needs_both_paths(self):
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.XB_MUX, 3))
+        assert not xb_output_failed(f, 3)
+        f.inject(FaultSite(0, FaultUnit.XB_MUX, 2))  # secondary source
+        assert xb_output_failed(f, 3)
+
+    def test_va2_exact_extension(self):
+        f = fs(num_vcs=4, num_vnets=2)
+        f.inject(FaultSite(0, FaultUnit.VA2_ARBITER, 2, 0))
+        assert not va2_output_failed(f, 2)
+        f.inject(FaultSite(0, FaultUnit.VA2_ARBITER, 2, 1))
+        # vnet 0 (VCs 0,1) fully dead
+        assert va2_output_failed(f, 2)
+        assert protected_router_failed(f, exact=True)
+        assert not protected_router_failed(f, exact=False)
+
+
+class TestRouterLevel:
+    def test_healthy_router_not_failed(self):
+        assert not protected_router_failed(fs())
+
+    def test_baseline_fails_on_first_fault(self):
+        f = fs()
+        assert not baseline_router_failed(f)
+        f.inject(FaultSite(0, FaultUnit.SA1_ARBITER, 0))
+        assert baseline_router_failed(f)
+
+    def test_failed_stages_names(self):
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.RC_PRIMARY, 0))
+        f.inject(FaultSite(0, FaultUnit.RC_DUPLICATE, 0))
+        f.inject(FaultSite(0, FaultUnit.SA1_ARBITER, 1))
+        f.inject(FaultSite(0, FaultUnit.SA1_BYPASS, 1))
+        assert failed_stages(f) == ["RC", "SA"]
+
+    def test_min_faults_to_failure_is_two(self):
+        """Section VIII-E: the minimum over stages is 2 (RC, SA, or XB)."""
+        # RC pair
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.RC_PRIMARY, 0))
+        f.inject(FaultSite(0, FaultUnit.RC_DUPLICATE, 0))
+        assert protected_router_failed(f)
+        # SA pair
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.SA1_ARBITER, 0))
+        f.inject(FaultSite(0, FaultUnit.SA1_BYPASS, 0))
+        assert protected_router_failed(f)
+        # XB pair (normal + secondary circuitry)
+        f = fs()
+        f.inject(FaultSite(0, FaultUnit.XB_MUX, 0))
+        f.inject(FaultSite(0, FaultUnit.XB_SECONDARY, 0))
+        assert protected_router_failed(f)
+
+    def test_no_single_fault_fails_protected_router(self):
+        """Every single fault site, alone, is tolerated."""
+        for site in enumerate_sites(RouterConfig()):
+            f = fs()
+            f.inject(site)
+            assert not protected_router_failed(f, exact=True), site.describe()
+
+    @given(st.lists(st.integers(0, 74), unique=True, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_failure_is_monotone(self, idxs):
+        """Adding faults can never un-fail a router."""
+        all_sites = list(enumerate_sites(RouterConfig()))
+        f = fs()
+        prev = False
+        for i in idxs:
+            f.inject(all_sites[i])
+            now = protected_router_failed(f, exact=True)
+            assert now or not prev
+            prev = now

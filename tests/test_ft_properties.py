@@ -1,0 +1,144 @@
+"""Additional property-based tests focused on the FT mechanisms.
+
+Hypothesis drives random swap sequences, heal/inject interleavings, and
+fault/traffic mixes through the mechanisms that DESIGN.md identifies as
+the model's riskiest parts: the wire/physical VC indirection, plan-cache
+invalidation, and the protected router's inertness when healed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, PORT_EAST, PORT_WEST, RouterConfig
+from repro.core.protected_router import ProtectedRouter
+from repro.faults.sites import FaultSite, FaultUnit, enumerate_sites
+from repro.router.flit import Packet
+from repro.router.input_port import InputPort
+from repro.router.routing import XYRouting
+
+from conftest import SingleRouterHarness
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestIndirectionProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    max_size=30))
+    @settings(**SETTINGS)
+    def test_arbitrary_swap_sequences_keep_permutation(self, swaps):
+        ip = InputPort(port=1, num_vcs=4, buffer_depth=4)
+        for a, b in swaps:
+            ip.swap_slots(a, b)
+        ip.check_invariants()
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    max_size=20),
+           st.integers(0, 3))
+    @settings(**SETTINGS)
+    def test_wire_addressing_survives_any_swaps(self, swaps, wire):
+        """Flits sent to a wire id always land in the same VC object no
+        matter how slots were shuffled in between."""
+        ip = InputPort(port=1, num_vcs=4, buffer_depth=8)
+        target = ip.by_wire(wire)
+        flits = list(Packet(src=0, dest=1, size_flits=3).flits())
+        ip.by_wire(wire).enqueue(flits[0])
+        for a, b in swaps:
+            ip.swap_slots(a, b)
+        ip.by_wire(wire).enqueue(flits[1])
+        ip.by_wire(wire).enqueue(flits[2])
+        assert ip.by_wire(wire) is target
+        assert target.occupancy == 3
+
+
+class TestHealInjectProperties:
+    @given(st.lists(st.integers(0, 74), unique=True, min_size=1, max_size=12),
+           st.data())
+    @settings(**SETTINGS)
+    def test_inject_then_heal_restores_pristine_plans(self, idxs, data):
+        """Healing every injected fault restores every crossbar plan to
+        the fault-free plan (cache invalidation correctness)."""
+        net = NetworkConfig(width=3, height=3)
+        sites = list(enumerate_sites(net.router))
+        router = ProtectedRouter(4, net.router, XYRouting(net))
+        pristine = [router.crossbar.plan_path(k) for k in range(5)]
+        chosen = [sites[i] for i in idxs]
+        for s in chosen:
+            router.inject_fault(s)
+        order = data.draw(st.permutations(range(len(chosen))))
+        for i in order:
+            router.heal_fault(chosen[i])
+        assert not router.faults.any_faults
+        assert [router.crossbar.plan_path(k) for k in range(5)] == pristine
+        assert not router.failed
+
+    @given(st.lists(st.integers(0, 74), unique=True, max_size=10))
+    @settings(**SETTINGS)
+    def test_double_injection_is_idempotent(self, idxs):
+        net = NetworkConfig(width=3, height=3)
+        sites = list(enumerate_sites(net.router))
+        router = ProtectedRouter(4, net.router, XYRouting(net))
+        for i in idxs:
+            assert router.inject_fault(sites[i])
+            assert not router.inject_fault(sites[i])
+        assert router.faults.num_faults == len(idxs)
+
+
+class TestMechanismInertness:
+    @given(st.integers(1, 3), st.integers(1, 8))
+    @settings(**SETTINGS)
+    def test_healed_router_behaves_like_pristine(self, n_faults, n_packets):
+        """Inject faults, heal them all *before* traffic: the delivery
+        trace must equal a never-faulted router's."""
+        def drive(with_fault_cycle: bool):
+            from repro.router.flit import reset_packet_ids
+
+            reset_packet_ids()
+            h = SingleRouterHarness(protected=True)
+            if with_fault_cycle:
+                sites = [
+                    FaultSite(4, FaultUnit.SA1_ARBITER, PORT_WEST),
+                    FaultSite(4, FaultUnit.XB_MUX, PORT_EAST),
+                    FaultSite(4, FaultUnit.VA1_ARBITER_SET, PORT_WEST, 0),
+                ][:n_faults]
+                for s in sites:
+                    h.router.inject_fault(s)
+                for s in sites:
+                    h.router.heal_fault(s)
+            for i in range(n_packets):
+                h.inject(PORT_WEST, i % 4, Packet(src=3, dest=5, size_flits=2))
+            h.step(60)
+            return [
+                (p, vc, f.packet_id, f.flit_index)
+                for (_, p, vc, f) in h.sched.delivered
+            ]
+
+        assert drive(True) == drive(False)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_fault_free_mechanism_counters_stay_zero(self, seed):
+        h = SingleRouterHarness(protected=True)
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            port = int(rng.integers(1, 5))
+            vc = int(rng.integers(4))
+            candidates = [d for d in range(9) if d != 4]
+            src = int(rng.choice(candidates))
+            dest = int(rng.choice([d for d in candidates if d != src]))
+            h.inject(port, vc, Packet(
+                src=src, dest=dest, size_flits=int(rng.integers(1, 4)),
+            ))
+        h.step(80)
+        s = h.router.stats
+        assert s.sa_bypass_grants == 0
+        assert s.vc_transfers == 0
+        assert s.va_borrowed_grants == 0
+        assert s.secondary_path_grants == 0
+        assert s.rc_duplicate_computations == 0

@@ -1,0 +1,86 @@
+"""Tests for input ports and the wire/physical VC indirection."""
+
+import pytest
+
+from repro.router.flit import Packet
+from repro.router.input_port import InputPort
+from repro.router.vc import VCState
+
+
+def port4():
+    return InputPort(port=1, num_vcs=4, buffer_depth=4)
+
+
+class TestIndirection:
+    def test_initial_identity_mapping(self):
+        ip = port4()
+        for w in range(4):
+            assert ip.by_wire(w) is ip.by_slot(w)
+            assert ip.phys_of_wire(w) == w
+        ip.check_invariants()
+
+    def test_swap_moves_contents(self):
+        ip = port4()
+        flit = next(Packet(src=0, dest=1, size_flits=1).flits())
+        ip.by_wire(0).enqueue(flit)
+        ip.swap_slots(0, 2)
+        # the flit now physically sits in slot 2
+        assert ip.by_slot(2).occupancy == 1
+        assert ip.by_slot(0).occupancy == 0
+        # but wire 0 still reaches it
+        assert ip.by_wire(0).occupancy == 1
+        ip.check_invariants()
+
+    def test_swap_is_involution(self):
+        ip = port4()
+        ip.swap_slots(1, 3)
+        ip.swap_slots(1, 3)
+        for w in range(4):
+            assert ip.phys_of_wire(w) == w
+        ip.check_invariants()
+
+    def test_self_swap_is_noop(self):
+        ip = port4()
+        ip.swap_slots(2, 2)
+        assert ip.phys_of_wire(2) == 2
+
+    def test_arrivals_after_swap_follow_wire(self):
+        """Mid-packet transfer: later flits of the packet land in the same
+        VC object even though it moved slots."""
+        ip = port4()
+        flits = list(Packet(src=0, dest=1, size_flits=3).flits())
+        ip.by_wire(1).enqueue(flits[0])
+        ip.swap_slots(ip.phys_of_wire(1), 3)
+        ip.by_wire(1).enqueue(flits[1])
+        ip.by_wire(1).enqueue(flits[2])
+        vc = ip.by_slot(3)
+        assert vc.occupancy == 3
+        assert [f.flit_index for f in vc.buffer] == [0, 1, 2]
+
+    def test_wire_ids_are_stable_on_objects(self):
+        ip = port4()
+        ip.swap_slots(0, 1)
+        assert ip.by_slot(0).index == 1
+        assert ip.by_slot(1).index == 0
+
+
+class TestDiagnostics:
+    def test_total_occupancy(self):
+        ip = port4()
+        for f in Packet(src=0, dest=1, size_flits=2).flits():
+            ip.by_wire(0).enqueue(f)
+        for f in Packet(src=0, dest=2, size_flits=1).flits():
+            ip.by_wire(2).enqueue(f)
+        assert ip.total_occupancy == 3
+
+    def test_idle(self):
+        ip = port4()
+        assert ip.idle()
+        for f in Packet(src=0, dest=1, size_flits=1).flits():
+            ip.by_wire(0).enqueue(f)
+        assert not ip.idle()
+
+    def test_iteration_yields_slots(self):
+        ip = port4()
+        assert len(list(ip)) == 4
+        assert all(vc.state == VCState.IDLE for vc in ip)

@@ -1,0 +1,170 @@
+"""Property-based integration tests over the whole simulator.
+
+Hypothesis drives random network shapes, traffic levels, and fault
+scenarios through end-to-end simulations, checking the global invariants:
+
+* flit conservation (everything injected is buffered, in flight, or
+  ejected — and after a drain, fully ejected),
+* no misrouting (the destination NIC asserts on wrong deliveries),
+* credit sanity (counters never exceed buffer depth — asserted inside
+  the router), wire/physical VC indirection stays a permutation,
+* protected routers never deadlock under *tolerable* fault sets,
+* fault-free protected == baseline latency (mechanism inertness).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.faults.injector import RandomFaultInjector
+from repro.network.simulator import NoCSimulator, baseline_router_factory
+from repro.traffic.generator import SyntheticTraffic
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def network_configs(draw):
+    width = draw(st.integers(2, 4))
+    height = draw(st.integers(2, 4))
+    num_vnets = draw(st.sampled_from([1, 2]))
+    vcs_per_vnet = draw(st.integers(1, 2))
+    return NetworkConfig(
+        width=width,
+        height=height,
+        topology=draw(st.sampled_from(["mesh", "torus"])),
+        router=RouterConfig(
+            num_vcs=num_vnets * vcs_per_vnet * draw(st.integers(1, 2)),
+            num_vnets=num_vnets,
+            buffer_depth=draw(st.integers(2, 5)),
+        ),
+    )
+
+
+def build_sim(net, seed, rate, protected=False, fault_schedule=None,
+              measure=800):
+    factory = (
+        protected_router_factory(net) if protected else baseline_router_factory(net)
+    )
+    return NoCSimulator(
+        net,
+        SimulationConfig(
+            warmup_cycles=100,
+            measure_cycles=measure,
+            drain_cycles=6000,
+            seed=seed,
+            watchdog_cycles=4000,
+        ),
+        SyntheticTraffic(net, injection_rate=rate, rng=seed),
+        router_factory=factory,
+        fault_schedule=fault_schedule,
+    )
+
+
+class TestConservationProperties:
+    @given(network_configs(), st.integers(0, 1000), st.floats(0.01, 0.12))
+    @settings(**SETTINGS)
+    def test_all_packets_delivered_and_conserved(self, net, seed, rate):
+        sim = build_sim(net, seed, rate)
+        res = sim.run()
+        assert not res.blocked
+        assert res.drained
+        assert res.stats.packets_ejected == res.stats.packets_created
+        assert res.stats.flits_ejected == res.stats.flits_injected
+        assert sim.flits_in_network == 0
+        sim.check_invariants()
+
+    @given(network_configs(), st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_mid_run_invariants(self, net, seed):
+        """Invariants hold at arbitrary points mid-simulation, not just at
+        the end."""
+        sim = build_sim(net, seed, 0.08)
+        for cycle in range(300):
+            sim._step(cycle, inject_traffic=True)
+            if cycle % 50 == 17:
+                sim.check_invariants()
+
+    @given(network_configs(), st.integers(0, 500), st.floats(0.01, 0.1))
+    @settings(**SETTINGS)
+    def test_protected_equals_baseline_fault_free(self, net, seed, rate):
+        """The FT machinery is inert without faults: identical results."""
+        r1 = build_sim(net, seed, rate, protected=False).run()
+        r2 = build_sim(net, seed, rate, protected=True).run()
+        assert r1.stats.packets_ejected == r2.stats.packets_ejected
+        assert r1.avg_network_latency == r2.avg_network_latency
+        assert r2.router_stats.sa_bypass_grants == 0
+        assert r2.router_stats.secondary_path_grants == 0
+        assert r2.router_stats.va_borrowed_grants == 0
+
+
+class TestFaultToleranceProperties:
+    @given(
+        st.integers(0, 300),
+        st.integers(1, 20),
+    )
+    @settings(**SETTINGS)
+    def test_tolerable_faults_never_wedge_protected_network(self, seed, nfaults):
+        net = NetworkConfig(width=3, height=3, router=RouterConfig())
+        inj = RandomFaultInjector(
+            net.router,
+            net.num_nodes,
+            mean_interval=20,
+            num_faults=nfaults,
+            rng=seed,
+            first_fault_at=0,
+            avoid_failure=True,
+        )
+        sim = build_sim(net, seed, 0.06, protected=True, fault_schedule=inj)
+        res = sim.run()
+        assert not res.blocked
+        assert res.stats.packets_ejected == res.stats.packets_created
+        for router in sim.routers:
+            assert not router.failed
+            router.check_invariants()
+
+    @given(st.integers(0, 300))
+    @settings(**SETTINGS)
+    def test_faults_never_cause_misroute(self, seed):
+        """Every ejected flit reached its true destination (the NIC asserts
+        internally; this test also cross-checks the samples)."""
+        net = NetworkConfig(width=3, height=3, router=RouterConfig())
+        inj = RandomFaultInjector(
+            net.router, net.num_nodes, mean_interval=15, num_faults=12,
+            rng=seed, first_fault_at=0, avoid_failure=True,
+        )
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(warmup_cycles=50, measure_cycles=600,
+                             drain_cycles=5000, seed=seed,
+                             watchdog_cycles=4000),
+            SyntheticTraffic(net, injection_rate=0.06, rng=seed),
+            router_factory=protected_router_factory(net),
+            fault_schedule=inj,
+            keep_samples=True,
+        )
+        res = sim.run()
+        for s in res.stats.samples:
+            assert s.src != s.dest
+            assert 0 <= s.dest < net.num_nodes
+            assert s.network_latency >= 5  # at least one router + link
+
+    @given(st.integers(0, 200), st.floats(0.02, 0.1))
+    @settings(**SETTINGS)
+    def test_faulty_latency_never_better(self, seed, rate):
+        net = NetworkConfig(width=3, height=3, router=RouterConfig())
+        base = build_sim(net, seed, rate, protected=True).run()
+        inj = RandomFaultInjector(
+            net.router, net.num_nodes, mean_interval=10, num_faults=15,
+            rng=seed, first_fault_at=0, avoid_failure=True,
+        )
+        faulty = build_sim(net, seed, rate, protected=True,
+                           fault_schedule=inj).run()
+        assert faulty.avg_network_latency >= base.avg_network_latency - 0.5

@@ -1,0 +1,58 @@
+"""Tests for the reliability-curve experiment and mission-time maths."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reliability_curves import mission_time, run
+from repro.reliability.mttf import reliability_curve
+
+
+class TestMissionTime:
+    def test_exponential_closed_form(self):
+        """For R(t)=exp(-l t), mission time at target p is -ln(p)/l."""
+        fit = 2822.0
+        lam = fit / 1e9
+        hours = np.linspace(0, 2e6, 20000)
+        r = reliability_curve(fit, hours)
+        for p in (0.99, 0.9, 0.5):
+            expected = -np.log(p) / lam
+            assert mission_time(r, hours, p) == pytest.approx(
+                expected, rel=0.01
+            )
+
+    def test_target_validation(self):
+        hours = np.linspace(0, 10, 5)
+        r = reliability_curve(1000.0, hours)
+        with pytest.raises(ValueError):
+            mission_time(r, hours, 0.0)
+        with pytest.raises(ValueError):
+            mission_time(r, hours, 1.0)
+
+    def test_unreachable_target_clamps_to_horizon(self):
+        hours = np.linspace(0, 100.0, 10)
+        r = reliability_curve(1.0, hours)  # barely decays over 100 h
+        assert mission_time(r, hours, 0.5) == pytest.approx(100.0)
+
+
+class TestExperiment:
+    def test_multipliers_exceed_mttf_ratio_at_high_targets(self):
+        """At stringent targets the parallel system's advantage exceeds
+        the ~6x MTTF ratio (redundancy crushes the early-failure tail)."""
+        res = run()
+        assert res.row("mission-time multiplier @ R>=0.99").measured > 6.0
+
+    def test_multiplier_decreases_with_laxer_targets(self):
+        res = run()
+        m99 = res.row("mission-time multiplier @ R>=0.99").measured
+        m90 = res.row("mission-time multiplier @ R>=0.9").measured
+        assert m99 > m90
+
+    def test_protected_curve_dominates(self):
+        res = run()
+        assert np.all(res.extras["protected"] >= res.extras["baseline"] - 1e-12)
+
+    def test_yearly_survival_rows(self):
+        res = run()
+        assert res.row("R(protected) after 1y").measured >= res.row(
+            "R(baseline) after 1y"
+        ).measured

@@ -1,0 +1,170 @@
+"""Tests for the behavioural RoCo router (graceful degradation model)."""
+
+import pytest
+
+from repro.comparison.roco_router import (
+    DEFAULT_MODULE_TOLERANCE,
+    RoCoRouter,
+    roco_router_factory,
+)
+from repro.config import (
+    NetworkConfig,
+    PORT_EAST,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+    RouterConfig,
+)
+from repro.faults.sites import FaultSite, FaultUnit
+from repro.router.flit import Packet
+from repro.router.routing import XYRouting
+from repro.traffic.generator import TraceTraffic
+
+from conftest import make_network_config, make_sim
+
+
+def make_roco():
+    net = NetworkConfig(width=3, height=3)
+    return RoCoRouter(4, net.router, XYRouting(net)), net
+
+
+class TestModuleAccounting:
+    def test_fresh_router_healthy(self):
+        r, _ = make_roco()
+        assert not r.row_failed and not r.col_failed
+        assert not r.failed and not r.degraded
+
+    def test_row_faults_charged_to_row(self):
+        r, _ = make_roco()
+        r.inject_fault(FaultSite(4, FaultUnit.SA1_ARBITER, PORT_EAST))
+        r.inject_fault(FaultSite(4, FaultUnit.XB_MUX, PORT_WEST))
+        assert r.row_faults == 2 and r.col_faults == 0
+
+    def test_module_dies_past_tolerance(self):
+        r, _ = make_roco()
+        for i, port in enumerate([PORT_EAST, PORT_WEST, PORT_EAST]):
+            r.inject_fault(FaultSite(4, FaultUnit.VA1_ARBITER_SET, port, i))
+        assert r.row_faults == DEFAULT_MODULE_TOLERANCE + 1
+        assert r.row_failed and r.degraded and not r.failed
+
+    def test_both_modules_dead_is_failure(self):
+        r, _ = make_roco()
+        r.fail_module("row")
+        r.fail_module("col")
+        assert r.failed
+
+    def test_local_faults_charged_to_healthier_module(self):
+        r, _ = make_roco()
+        r.inject_fault(FaultSite(4, FaultUnit.SA1_ARBITER, PORT_EAST))
+        # row has 1 fault, col 0 -> local fault lands on col
+        r.inject_fault(FaultSite(4, FaultUnit.SA1_ARBITER, 0))
+        assert r.col_faults == 1
+
+    def test_fail_module_validation(self):
+        r, _ = make_roco()
+        with pytest.raises(ValueError):
+            r.fail_module("diagonal")
+
+    def test_requires_five_ports(self):
+        net = NetworkConfig(width=3, height=3)
+        with pytest.raises(ValueError):
+            RoCoRouter(4, RouterConfig(num_ports=6), XYRouting(net))
+
+
+class TestDegradedBehaviour:
+    def test_dead_row_blocks_row_outputs(self):
+        r, _ = make_roco()
+        r.fail_module("row")
+        assert r.crossbar.plan_path(PORT_EAST) is None
+        assert r.crossbar.plan_path(PORT_WEST) is None
+        assert r.crossbar.plan_path(PORT_NORTH) is not None
+
+    def test_dead_row_still_forwards_column_traffic(self):
+        """The headline: degraded, not dead — column traffic keeps flowing
+        straight through a router whose row module died."""
+        net = make_network_config(3, 3)
+        victim = net.node_id(1, 1)
+        from repro.config import SimulationConfig
+        from repro.network.simulator import NoCSimulator
+
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(warmup_cycles=0, measure_cycles=200,
+                             drain_cycles=2000, seed=1),
+            TraceTraffic([
+                Packet(src=net.node_id(1, 0), dest=net.node_id(1, 2),
+                       size_flits=1, creation_cycle=5 + i)
+                for i in range(10)
+            ]),
+            router_factory=roco_router_factory(net),
+        )
+        sim.routers[victim].fail_module("row")
+        res = sim.run()
+        assert res.drained and not res.blocked
+        assert res.stats.packets_ejected == 10
+
+    def test_dead_row_strands_row_traffic(self):
+        net = make_network_config(3, 3)
+        victim = net.node_id(1, 1)
+        from repro.network.simulator import NoCSimulator
+        from repro.config import SimulationConfig
+
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(warmup_cycles=0, measure_cycles=400,
+                             drain_cycles=1500, seed=1,
+                             watchdog_cycles=800),
+            TraceTraffic([
+                Packet(src=net.node_id(0, 1), dest=net.node_id(2, 1),
+                       size_flits=1, creation_cycle=5)
+            ]),
+            router_factory=roco_router_factory(net),
+        )
+        sim.routers[victim].fail_module("row")
+        res = sim.run()
+        assert res.blocked or res.stats.packets_ejected == 0
+
+    def test_fault_free_roco_delivers_everything(self):
+        net = make_network_config(4, 4)
+        from repro.network.simulator import NoCSimulator
+        from repro.config import SimulationConfig
+        from repro.traffic.generator import SyntheticTraffic
+
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(warmup_cycles=100, measure_cycles=1000,
+                             drain_cycles=3000, seed=2),
+            SyntheticTraffic(net, injection_rate=0.06, rng=2),
+            router_factory=roco_router_factory(net),
+        )
+        res = sim.run()
+        assert res.drained
+        assert res.stats.packets_ejected == res.stats.packets_created
+
+    def test_monte_carlo_matches_roco_model(self):
+        """Injecting random pipeline faults into the RoCo router until
+        failure tracks the RoCoModel's published-style MC (same two-module
+        law, faults split ~evenly)."""
+        import numpy as np
+
+        from repro.comparison.roco import RoCoModel
+        from repro.faults.sites import enumerate_sites
+
+        net = NetworkConfig(width=3, height=3)
+        rng = np.random.default_rng(4)
+        sites = [
+            s for s in enumerate_sites(net.router, router=4, protected=False)
+            if s.port != 0  # non-local, so the module split is clean
+        ]
+        counts = []
+        for _ in range(60):
+            r = RoCoRouter(4, net.router, XYRouting(net))
+            n = 0
+            for i in rng.permutation(len(sites)):
+                r.inject_fault(sites[int(i)])
+                n += 1
+                if r.failed:
+                    break
+            counts.append(n)
+        mc = RoCoModel().monte_carlo_faults_to_failure(trials=2000, rng=4)
+        assert np.mean(counts) == pytest.approx(mc, rel=0.25)

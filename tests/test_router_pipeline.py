@@ -1,0 +1,179 @@
+"""Single-router pipeline tests: stage timing, credits, wormhole order.
+
+Uses the SingleRouterHarness (a lone router at the centre of a 3x3 mesh,
+node 4) so stage-by-stage behaviour is observable without a fabric.
+"""
+
+import pytest
+
+from repro.config import PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_WEST
+from repro.router.flit import Packet
+from repro.router.vc import VCState
+
+from conftest import SingleRouterHarness
+
+
+class TestStageTiming:
+    def test_head_takes_four_stages(self, harness):
+        """Head flit: RC at t+1, VA at t+2, SA at t+3, XB at t+4."""
+        vc = harness.router.in_ports[PORT_WEST].by_wire(0)
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        assert vc.state == VCState.ROUTING
+        harness.step()  # RC
+        assert vc.state == VCState.WAITING_VA
+        assert vc.route == PORT_EAST
+        harness.step()  # VA
+        assert vc.state == VCState.ACTIVE
+        assert vc.out_vc is not None
+        harness.step()  # SA
+        assert len(harness.router.pending_grants()) == 1
+        assert not harness.sched.delivered
+        harness.step()  # XB
+        assert len(harness.sched.delivered) == 1
+        assert vc.state == VCState.IDLE
+
+    def test_body_flits_pipeline_behind_head(self, harness):
+        """A 3-flit packet leaves in 3 consecutive cycles after the head's
+        4-cycle pipeline."""
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=3))
+        harness.step(4)
+        assert len(harness.sched.delivered) == 1
+        harness.step()
+        assert len(harness.sched.delivered) == 2
+        harness.step()
+        assert len(harness.sched.delivered) == 3
+
+    def test_local_delivery_routes_to_local_port(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=4, size_flits=1))
+        assert harness.run_until_delivered(1)
+        _, out_port, _, flit = harness.sched.delivered[0]
+        assert out_port == PORT_LOCAL
+        assert flit.dest == 4
+
+    def test_xy_route_computed(self, harness):
+        # node 4 = (1,1); dest 2 = (2,0): X first -> EAST
+        harness.inject(PORT_LOCAL, 0, Packet(src=4, dest=2, size_flits=1))
+        assert harness.run_until_delivered(1)
+        assert harness.sched.delivered[0][1] == PORT_EAST
+
+    def test_hops_incremented(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        assert harness.run_until_delivered(1)
+        assert harness.sched.delivered[0][3].hops == 1
+
+
+class TestCredits:
+    def test_credit_returned_per_flit(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=2))
+        assert harness.run_until_delivered(2)
+        assert harness.sched.credits == [
+            (4, PORT_WEST, 0),
+            (4, PORT_WEST, 0),
+        ]
+
+    def test_output_credits_consumed_and_capped(self, harness):
+        """With no credits returned, at most buffer_depth flits leave on
+        one output VC."""
+        router = harness.router
+        depth = router.config.buffer_depth
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=6))
+        # 6-flit packet, buffer depth 4: inject refills as slots free
+        harness.step(40)
+        out = router.out_ports[PORT_EAST]
+        sent = len(harness.sched.delivered)
+        assert sent == depth  # stalls once downstream credits exhausted
+        assert out.credits[harness.sched.delivered[0][2]] == 0
+
+    def test_credit_restores_flow(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=6))
+        harness.step(40)
+        stalled = len(harness.sched.delivered)
+        # hand back one credit on the allocated out VC
+        out_vc = harness.sched.delivered[0][2]
+        harness.router.receive_credit(PORT_EAST, out_vc)
+        harness.step(3)
+        assert len(harness.sched.delivered) == stalled + 1
+
+    def test_credit_overflow_detected(self, harness):
+        with pytest.raises(AssertionError):
+            harness.router.receive_credit(PORT_EAST, 0)
+
+
+class TestVAOutputState:
+    def test_downstream_vc_reserved_until_tail(self, harness):
+        router = harness.router
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=2))
+        harness.step(3)  # RC, VA, SA
+        vc = router.in_ports[PORT_WEST].by_wire(0)
+        dvc = vc.out_vc
+        assert router.out_ports[PORT_EAST].allocated[dvc] == vc.packet_id
+        harness.step(2)  # head XB, tail SA... keep going until tail leaves
+        assert harness.run_until_delivered(2)
+        assert router.out_ports[PORT_EAST].allocated[dvc] is None
+
+    def test_two_packets_get_distinct_downstream_vcs(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=4))
+        harness.inject(PORT_NORTH, 1, Packet(src=1, dest=5, size_flits=4))
+        # Both stage-1 arbiters may propose the same downstream VC; the
+        # loser retries the following cycle, so allow 3 cycles for VA.
+        harness.step(3)
+        vc_a = harness.router.in_ports[PORT_WEST].by_wire(0)
+        vc_b = harness.router.in_ports[PORT_NORTH].by_wire(1)
+        assert vc_a.state == VCState.ACTIVE
+        assert vc_b.state == VCState.ACTIVE
+        assert vc_a.out_vc != vc_b.out_vc
+
+    def test_wormhole_no_interleaving_on_one_output_vc(self, harness):
+        """Flits delivered on one output VC must be contiguous per packet."""
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=3))
+        harness.inject(PORT_NORTH, 0, Packet(src=1, dest=5, size_flits=3))
+        assert harness.run_until_delivered(6)
+        per_outvc: dict[int, list] = {}
+        for _, _, out_vc, flit in harness.sched.delivered:
+            per_outvc.setdefault(out_vc, []).append(flit.packet_id)
+        for pids in per_outvc.values():
+            # contiguous runs: packet id changes at most once per packet
+            changes = sum(1 for a, b in zip(pids, pids[1:]) if a != b)
+            assert changes <= len(set(pids)) - 1
+
+
+class TestContention:
+    def test_one_flit_per_output_per_cycle(self, harness):
+        """Two ports competing for EAST: deliveries never exceed 1/cycle."""
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=4))
+        harness.inject(PORT_NORTH, 0, Packet(src=1, dest=5, size_flits=4))
+        seen_cycles = []
+        for _ in range(30):
+            before = len(harness.sched.delivered)
+            harness.step()
+            got = len(harness.sched.delivered) - before
+            assert got <= 1
+            if got:
+                seen_cycles.append(harness.cycle)
+        assert len(harness.sched.delivered) == 8
+
+    def test_different_outputs_in_parallel(self, harness):
+        """EAST-bound and WEST-bound traffic crosses the XB the same cycle."""
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=2))
+        harness.inject(PORT_EAST, 0, Packet(src=5, dest=3, size_flits=2))
+        harness.step(5)
+        # both packets fully delivered in the minimum time (4 + 1 cycles)
+        assert len(harness.sched.delivered) == 4
+
+
+class TestBusyFlag:
+    def test_idle_router_not_busy(self, harness):
+        assert not harness.router.busy
+
+    def test_busy_while_flits_buffered(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=1))
+        assert harness.router.busy
+        assert harness.run_until_delivered(1)
+        assert not harness.router.busy
+
+    def test_invariants_hold_throughout(self, harness):
+        harness.inject(PORT_WEST, 0, Packet(src=3, dest=5, size_flits=3))
+        harness.inject(PORT_NORTH, 2, Packet(src=1, dest=7, size_flits=2))
+        for _ in range(12):
+            harness.step()
+            harness.router.check_invariants()

@@ -1,0 +1,156 @@
+"""Tests for XY/YX/lookahead routing functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    NetworkConfig,
+    PORT_EAST,
+    PORT_LOCAL,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+)
+from repro.router.routing import (
+    LookaheadXYRouting,
+    XYRouting,
+    YXRouting,
+    _neighbour,
+    make_routing,
+)
+
+
+@pytest.fixture
+def net():
+    return NetworkConfig(width=8, height=8)
+
+
+class TestXY:
+    def test_local_delivery(self, net):
+        r = XYRouting(net)
+        assert r.output_port(12, 12) == PORT_LOCAL
+
+    def test_x_before_y(self, net):
+        r = XYRouting(net)
+        # node (1,1)=9 to (3,3)=27: X not resolved -> go east
+        assert r.output_port(9, 27) == PORT_EAST
+        # node (3,1)=11 to (3,3): X resolved -> go south
+        assert r.output_port(11, 27) == PORT_SOUTH
+
+    def test_all_four_directions(self, net):
+        r = XYRouting(net)
+        centre = net.node_id(4, 4)
+        assert r.output_port(centre, net.node_id(6, 4)) == PORT_EAST
+        assert r.output_port(centre, net.node_id(2, 4)) == PORT_WEST
+        assert r.output_port(centre, net.node_id(4, 6)) == PORT_SOUTH
+        assert r.output_port(centre, net.node_id(4, 2)) == PORT_NORTH
+
+    def test_hop_count_is_manhattan(self, net):
+        r = XYRouting(net)
+        src = net.node_id(1, 2)
+        dst = net.node_id(6, 7)
+        assert r.hop_count(src, dst) == 5 + 5
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_route_walk_terminates_at_destination(self, src, dst):
+        net = NetworkConfig(width=8, height=8)
+        r = XYRouting(net)
+        cur = src
+        for _ in range(20):
+            port = r.output_port(cur, dst)
+            if port == PORT_LOCAL:
+                break
+            cur = _neighbour(net, cur, port)
+        assert cur == dst
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_no_y_to_x_turns(self, src, dst):
+        """Dimension order: once the route moves in Y it never moves in X."""
+        net = NetworkConfig(width=8, height=8)
+        r = XYRouting(net)
+        cur, moved_y = src, False
+        for _ in range(20):
+            port = r.output_port(cur, dst)
+            if port == PORT_LOCAL:
+                break
+            if port in (PORT_NORTH, PORT_SOUTH):
+                moved_y = True
+            else:
+                assert not moved_y, "illegal Y->X turn"
+            cur = _neighbour(net, cur, port)
+
+
+class TestYX:
+    def test_y_before_x(self, net):
+        r = YXRouting(net)
+        assert r.output_port(9, 27) == PORT_SOUTH
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_same_hop_count_as_xy(self, src, dst):
+        net = NetworkConfig(width=8, height=8)
+        if src == dst:
+            return
+        assert XYRouting(net).hop_count(src, dst) == YXRouting(net).hop_count(
+            src, dst
+        )
+
+
+class TestTorus:
+    def test_wraparound_shorter(self):
+        net = NetworkConfig(width=8, height=8, topology="torus")
+        r = XYRouting(net)
+        # (0,0) -> (7,0): wrap west is 1 hop, east is 7
+        assert r.output_port(0, 7) == PORT_WEST
+        assert r.hop_count(0, 7) == 1
+
+    def test_torus_hop_count_at_most_mesh(self):
+        mesh = NetworkConfig(width=6, height=6)
+        torus = NetworkConfig(width=6, height=6, topology="torus")
+        rm, rt = XYRouting(mesh), XYRouting(torus)
+        for src in range(0, 36, 5):
+            for dst in range(0, 36, 7):
+                if src == dst:
+                    continue
+                assert rt.hop_count(src, dst) <= rm.hop_count(src, dst)
+
+
+class TestLookahead:
+    def test_next_hop_port(self, net):
+        r = LookaheadXYRouting(net)
+        # from (0,0) to (2,0): current port EAST, at (1,0) port is EAST again
+        assert r.next_hop_port(0, 2) == PORT_EAST
+        # from (1,0) to (2,2): at (2,0) X is resolved -> SOUTH
+        assert r.next_hop_port(1, net.node_id(2, 2)) == PORT_SOUTH
+
+    def test_next_hop_local(self, net):
+        r = LookaheadXYRouting(net)
+        assert r.next_hop_port(5, 5) == PORT_LOCAL
+        # one hop away: next router is the destination
+        assert r.next_hop_port(0, 1) == PORT_LOCAL
+
+
+class TestFactory:
+    def test_kinds(self, net):
+        assert isinstance(make_routing(net, "xy"), XYRouting)
+        assert isinstance(make_routing(net, "yx"), YXRouting)
+        assert isinstance(make_routing(net, "lookahead_xy"), LookaheadXYRouting)
+
+    def test_unknown(self, net):
+        with pytest.raises(ValueError):
+            make_routing(net, "adaptive")
+
+
+class TestNeighbour:
+    def test_mesh_edge_raises(self):
+        net = NetworkConfig(width=4, height=4)
+        with pytest.raises(ValueError):
+            _neighbour(net, 0, PORT_NORTH)
+
+    def test_local_port_raises(self):
+        net = NetworkConfig(width=4, height=4)
+        with pytest.raises(ValueError):
+            _neighbour(net, 0, PORT_LOCAL)

@@ -1,0 +1,114 @@
+"""Tests for the simulation-based faults-to-failure campaign, including
+agreement with the Section VIII analytical predicates."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig
+from repro.core.failure import protected_router_failed
+from repro.core.protected_router import ProtectedRouter
+from repro.faults.sites import FaultSite, FaultUnit, enumerate_sites
+from repro.reliability.spf import monte_carlo_faults_to_failure
+from repro.reliability.spf_simulation import (
+    functional_failure,
+    simulated_faults_to_failure,
+)
+from repro.router.routing import XYRouting
+
+
+def make_router():
+    net = NetworkConfig(width=3, height=3)
+    return ProtectedRouter(4, net.router, XYRouting(net)), net
+
+
+class TestFunctionalFailure:
+    def test_healthy_router_functions(self):
+        router, net = make_router()
+        assert not functional_failure(router, net)
+
+    def test_rc_double_fault_fails_functionally(self):
+        router, net = make_router()
+        router.inject_fault(FaultSite(4, FaultUnit.RC_PRIMARY, 1))
+        router.inject_fault(FaultSite(4, FaultUnit.RC_DUPLICATE, 1))
+        assert functional_failure(router, net)
+
+    def test_sa_pair_fails_functionally(self):
+        router, net = make_router()
+        router.inject_fault(FaultSite(4, FaultUnit.SA1_ARBITER, 2))
+        router.inject_fault(FaultSite(4, FaultUnit.SA1_BYPASS, 2))
+        assert functional_failure(router, net)
+
+    def test_xb_pair_fails_functionally(self):
+        router, net = make_router()
+        router.inject_fault(FaultSite(4, FaultUnit.XB_MUX, 3))
+        router.inject_fault(FaultSite(4, FaultUnit.XB_MUX, 2))  # secondary src
+        assert functional_failure(router, net)
+
+    def test_single_faults_never_fail_functionally(self):
+        """Behavioural counterpart of the exhaustive predicate test."""
+        net = NetworkConfig(width=3, height=3)
+        for site in enumerate_sites(net.router, router=4, include_va2=False):
+            router = ProtectedRouter(4, net.router, XYRouting(net))
+            router.inject_fault(site)
+            assert not functional_failure(router, net), site.describe()
+
+    def test_paper_max_27_faults_still_function(self):
+        router, net = make_router()
+        for p in range(5):
+            router.inject_fault(FaultSite(4, FaultUnit.RC_PRIMARY, p))
+        for p in range(5):
+            for v in range(3):
+                router.inject_fault(FaultSite(4, FaultUnit.VA1_ARBITER_SET, p, v))
+        for p in range(5):
+            router.inject_fault(FaultSite(4, FaultUnit.SA1_ARBITER, p))
+        router.inject_fault(FaultSite(4, FaultUnit.XB_MUX, 1))
+        router.inject_fault(FaultSite(4, FaultUnit.XB_MUX, 3))
+        assert router.faults.num_faults == 27
+        assert not functional_failure(router, net, max_cycles=120)
+
+
+class TestPredicateAgreement:
+    def test_predicate_and_functional_agree_along_random_paths(self):
+        """Inject random fault sequences; at every step the analytical
+        predicate and the behavioural probe must give the same verdict."""
+        net = NetworkConfig(width=3, height=3)
+        sites = list(enumerate_sites(net.router, router=4, include_va2=False))
+        rng = np.random.default_rng(5)
+        for trial in range(4):
+            router = ProtectedRouter(4, net.router, XYRouting(net))
+            for i in rng.permutation(len(sites)):
+                router.inject_fault(sites[int(i)])
+                predicate = protected_router_failed(router.faults)
+                functional = functional_failure(router, net)
+                assert predicate == functional, (
+                    f"disagreement after {router.faults.num_faults} faults: "
+                    f"predicate={predicate} functional={functional} "
+                    f"history={[s.describe() for s in router.faults.sites()]}"
+                )
+                if predicate:
+                    break
+
+
+class TestSimulatedCampaign:
+    def test_bounds(self):
+        res = simulated_faults_to_failure(trials=8, rng=2)
+        assert 2 <= res.minimum
+        assert res.maximum <= 28
+
+    def test_deterministic(self):
+        a = simulated_faults_to_failure(trials=5, rng=9)
+        b = simulated_faults_to_failure(trials=5, rng=9)
+        assert a.mean == b.mean
+
+    def test_tracks_predicate_monte_carlo(self):
+        """The behavioural and analytical MC means agree closely (same
+        failure law, same site pool)."""
+        sim = simulated_faults_to_failure(trials=40, rng=3)
+        analytic = monte_carlo_faults_to_failure(
+            RouterConfig(), trials=400, rng=3, include_va2=False
+        )
+        assert sim.mean == pytest.approx(analytic.mean, rel=0.2)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            simulated_faults_to_failure(trials=0)

@@ -1,0 +1,144 @@
+"""Tests for the area/power/critical-path synthesis proxy (Section VI)."""
+
+import pytest
+
+from repro.reliability.stages import RouterGeometry
+from repro.synthesis.area import analyze_area, area_overhead, area_overhead_vs_vcs
+from repro.synthesis.gates import Block, gate_delay
+from repro.synthesis.netlists import (
+    baseline_netlist,
+    correction_netlist,
+    detection_netlist,
+    vc_state_field_bits,
+)
+from repro.synthesis.power import analyze_power
+from repro.synthesis.timing import (
+    analyze_critical_path,
+    baseline_paths,
+    protected_paths,
+)
+
+
+class TestBlocks:
+    def test_area_proportional_to_transistors(self):
+        a = Block("a", 100)
+        b = Block("b", 200)
+        assert b.area_um2 == pytest.approx(2 * a.area_um2)
+
+    def test_sequential_blocks_burn_more_dynamic(self):
+        comb = Block("c", 100, sequential=False, activity=0.2)
+        seq = Block("s", 100, sequential=True, activity=0.2)
+        assert seq.dynamic_power_nw > comb.dynamic_power_nw
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            Block("x", 10, activity=1.5)
+
+    def test_gate_delay_lookup(self):
+        assert gate_delay("mux2") > 0
+        with pytest.raises(ValueError):
+            gate_delay("flux_capacitor")
+
+
+class TestNetlists:
+    def test_correction_netlist_matches_table2_census(self):
+        corr = correction_netlist()
+        # Table II transistors: RC 1170 + VA 3000 + SA 2330 + XB 4160
+        assert corr.transistors == 1170 + 3000 + 2330 + 4160
+
+    def test_baseline_includes_infrastructure(self):
+        base = baseline_netlist()
+        names = [b.name for b in base.blocks]
+        assert any("state fields" in n for n in names)
+        assert any("pipeline" in n for n in names)
+
+    def test_state_field_bits_reasonable(self):
+        bits = vc_state_field_bits(RouterGeometry())
+        assert 10 <= bits <= 20
+
+    def test_detection_sized_as_baseline_fraction(self):
+        det = detection_netlist()
+        base = baseline_netlist()
+        assert det.area_um2 == pytest.approx(0.03 * base.area_um2, rel=1e-6)
+        assert det.total_power_nw == pytest.approx(
+            0.01 * base.total_power_nw, rel=0.05
+        )
+
+
+class TestAreaReproduction:
+    def test_correction_overhead_near_paper(self):
+        """Paper: 28 % (correction only)."""
+        rep = analyze_area()
+        assert rep.correction_overhead == pytest.approx(0.28, abs=0.03)
+
+    def test_total_overhead_near_paper(self):
+        """Paper: 31 % (with detection)."""
+        rep = analyze_area()
+        assert rep.total_overhead == pytest.approx(0.31, abs=0.03)
+
+    def test_overhead_decreases_with_vcs(self):
+        """More VCs -> bigger baseline -> relatively smaller correction."""
+        ovh = area_overhead_vs_vcs([2, 4, 8])
+        assert ovh[2] > ovh[4] > ovh[8]
+
+    def test_two_vc_overhead_supports_spf7(self):
+        """The Section VIII-E SPF=7 point needs ~40+ % overhead at 2 VCs."""
+        assert area_overhead(RouterGeometry(num_vcs=2)) > 0.33
+
+    def test_protected_area_is_sum(self):
+        rep = analyze_area()
+        assert rep.protected_um2 == pytest.approx(
+            rep.baseline_um2 + rep.correction_um2
+        )
+
+
+class TestPowerReproduction:
+    def test_correction_power_near_paper(self):
+        """Paper: 29 % (correction only)."""
+        rep = analyze_power()
+        assert rep.correction_overhead == pytest.approx(0.29, abs=0.03)
+
+    def test_total_power_near_paper(self):
+        """Paper: 30 % (with detection)."""
+        rep = analyze_power()
+        assert rep.total_overhead == pytest.approx(0.30, abs=0.03)
+
+    def test_power_positive_components(self):
+        rep = analyze_power()
+        assert rep.baseline_static_nw > 0
+        assert rep.baseline_dynamic_nw > rep.baseline_static_nw  # active logic
+
+
+class TestCriticalPath:
+    def test_paper_overheads(self):
+        """Paper: RC negligible, VA +20 %, SA +10 %, XB +25 %."""
+        rep = analyze_critical_path()
+        assert rep.overhead("RC") < 0.06
+        assert rep.overhead("VA") == pytest.approx(0.20, abs=0.04)
+        assert rep.overhead("SA") == pytest.approx(0.10, abs=0.04)
+        assert rep.overhead("XB") == pytest.approx(0.25, abs=0.04)
+
+    def test_protected_never_faster(self):
+        rep = analyze_critical_path()
+        for stage in ("RC", "VA", "SA", "XB"):
+            assert rep.protected_ps[stage] >= rep.baseline_ps[stage]
+
+    def test_va_is_the_critical_stage(self):
+        """The VA stage (two arbiter levels, incl. a 20:1) dominates the
+        router clock period — the standard result for VC routers."""
+        rep = analyze_critical_path()
+        assert rep.min_clock_period_baseline_ps == rep.baseline_ps["VA"]
+
+    def test_paths_have_named_cells(self):
+        for paths in (baseline_paths(), protected_paths()):
+            for stage, p in paths.items():
+                assert p.delay_ps == pytest.approx(
+                    sum(d for _, d in p.cells)
+                )
+                assert len(p.cells) >= 3
+
+    def test_protected_adds_cells(self):
+        base = baseline_paths()
+        prot = protected_paths()
+        for stage in ("RC", "VA", "SA", "XB"):
+            assert len(prot[stage].cells) > len(base[stage].cells)

@@ -1,0 +1,97 @@
+"""Tests for mesh/torus wiring tables."""
+
+import pytest
+
+from repro.config import (
+    NetworkConfig,
+    OPPOSITE_PORT,
+    PORT_EAST,
+    PORT_LOCAL,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_WEST,
+)
+from repro.network.topology import Topology
+
+
+class TestMesh:
+    def test_link_count(self):
+        # 8x8 mesh: 2 * (7*8 + 8*7) = 224 unidirectional links
+        topo = Topology(NetworkConfig(width=8, height=8))
+        assert topo.num_links == 224
+
+    def test_corner_has_two_neighbours(self):
+        topo = Topology(NetworkConfig(width=4, height=4))
+        ports = [
+            p
+            for p in (PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST)
+            if topo.neighbour(0, p) is not None
+        ]
+        assert sorted(ports) == sorted([PORT_EAST, PORT_SOUTH])
+
+    def test_links_are_symmetric(self):
+        topo = Topology(NetworkConfig(width=5, height=3))
+        for (node, port), (dst, dst_port) in topo.links.items():
+            back = topo.links[(dst, OPPOSITE_PORT[port])]
+            assert back == (node, OPPOSITE_PORT[dst_port])
+
+    def test_upstream_inverse_of_neighbour(self):
+        topo = Topology(NetworkConfig(width=4, height=4))
+        for (node, port), (dst, dst_port) in topo.links.items():
+            up = topo.upstream(dst, dst_port)
+            assert up == (node, port)
+
+    def test_local_port_queries_raise(self):
+        topo = Topology(NetworkConfig(width=4, height=4))
+        with pytest.raises(ValueError):
+            topo.neighbour(0, PORT_LOCAL)
+        with pytest.raises(ValueError):
+            topo.upstream(0, PORT_LOCAL)
+
+    def test_neighbour_geometry(self):
+        net = NetworkConfig(width=4, height=4)
+        topo = Topology(net)
+        centre = net.node_id(1, 1)
+        assert topo.neighbour(centre, PORT_EAST) == (
+            net.node_id(2, 1),
+            PORT_WEST,
+        )
+        assert topo.neighbour(centre, PORT_SOUTH) == (
+            net.node_id(1, 2),
+            PORT_NORTH,
+        )
+
+
+class TestTorus:
+    def test_every_port_wired(self):
+        topo = Topology(NetworkConfig(width=4, height=4, topology="torus"))
+        # 4 directions * 16 nodes
+        assert topo.num_links == 64
+
+    def test_wraparound_links(self):
+        net = NetworkConfig(width=4, height=4, topology="torus")
+        topo = Topology(net)
+        # west from (0,0) wraps to (3,0)
+        assert topo.neighbour(0, PORT_WEST) == (net.node_id(3, 0), PORT_EAST)
+        # north from (0,0) wraps to (0,3)
+        assert topo.neighbour(0, PORT_NORTH) == (net.node_id(0, 3), PORT_SOUTH)
+
+
+class TestGraphView:
+    def test_mesh_is_strongly_connected(self):
+        topo = Topology(NetworkConfig(width=4, height=4))
+        assert topo.is_connected()
+
+    def test_removing_cut_nodes_disconnects(self):
+        # 1x4 line mesh: removing an interior node disconnects it
+        topo = Topology(NetworkConfig(width=4, height=1))
+        assert topo.is_connected()
+        assert not topo.is_connected(frozenset({1}))
+
+    def test_torus_survives_single_router_loss(self):
+        topo = Topology(NetworkConfig(width=4, height=4, topology="torus"))
+        assert topo.is_connected(frozenset({5}))
+
+    def test_graph_edge_count_matches(self):
+        topo = Topology(NetworkConfig(width=3, height=3))
+        assert topo.graph().number_of_edges() == topo.num_links

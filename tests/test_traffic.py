@@ -1,0 +1,300 @@
+"""Tests for traffic patterns, generators, app surrogates, and traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, RouterConfig
+from repro.router.flit import Packet
+from repro.traffic.apps import (
+    PARSEC_PROFILES,
+    SPLASH2_PROFILES,
+    AppProfile,
+    app_profile,
+    directory_home_nodes,
+    make_app_traffic,
+    suite_profiles,
+)
+from repro.traffic.generator import (
+    COHERENCE_MIX,
+    NullTraffic,
+    PacketClass,
+    SyntheticTraffic,
+    TraceTraffic,
+)
+from repro.traffic.patterns import (
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    Neighbor,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    available_patterns,
+    make_pattern,
+)
+from repro.traffic.trace import (
+    load_trace,
+    record_source,
+    record_to_packet,
+    save_trace,
+)
+
+
+@pytest.fixture
+def net():
+    return NetworkConfig(width=4, height=4)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self, net):
+        p = UniformRandom(net)
+        src = np.repeat(np.arange(16), 50)
+        dst = p.destinations(src, rng())
+        assert np.all(dst != src)
+        assert np.all((0 <= dst) & (dst < 16))
+
+    def test_uniform_covers_all_destinations(self, net):
+        p = UniformRandom(net)
+        src = np.zeros(2000, dtype=int)
+        dst = p.destinations(src, rng())
+        assert set(dst) == set(range(1, 16))
+
+    def test_transpose(self, net):
+        p = Transpose(net)
+        # (1,0)=1 -> (0,1)=4
+        assert p.destinations(np.array([1]), rng())[0] == 4
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            Transpose(NetworkConfig(width=4, height=2))
+
+    def test_bit_complement(self, net):
+        p = BitComplement(net)
+        assert p.destinations(np.array([0]), rng())[0] == 15
+        assert p.destinations(np.array([3]), rng())[0] == 12
+
+    def test_bit_reverse_power_of_two_only(self):
+        with pytest.raises(ValueError):
+            BitReverse(NetworkConfig(width=3, height=3))
+
+    def test_bit_reverse_mapping(self, net):
+        p = BitReverse(net)
+        # 16 nodes, 4 bits: 1 (0001) -> 8 (1000)
+        assert p.destinations(np.array([1]), rng())[0] == 8
+
+    def test_tornado_half_width(self, net):
+        p = Tornado(net)
+        # (0,0) -> (x + ceil(4/2)-1) mod 4 = (0+1)%4 = 1
+        assert p.destinations(np.array([0]), rng())[0] == 1
+
+    def test_neighbor(self, net):
+        p = Neighbor(net)
+        assert p.destinations(np.array([0]), rng())[0] == 1
+        assert p.destinations(np.array([3]), rng())[0] == 0  # wraps row
+
+    def test_hotspot_bias(self, net):
+        p = Hotspot(net, hotspots=[5], fraction=0.5)
+        src = np.ones(4000, dtype=int) * 2
+        dst = p.destinations(src, rng())
+        frac5 = np.mean(dst == 5)
+        assert 0.4 < frac5 < 0.6
+        assert np.all(dst != src)
+
+    def test_hotspot_validation(self, net):
+        with pytest.raises(ValueError):
+            Hotspot(net, hotspots=[99])
+        with pytest.raises(ValueError):
+            Hotspot(net, fraction=1.5)
+        with pytest.raises(ValueError):
+            Hotspot(net, hotspots=[])
+
+    def test_factory(self, net):
+        assert available_patterns()
+        for name in available_patterns():
+            if name == "bit_reverse" and net.num_nodes & (net.num_nodes - 1):
+                continue
+            pat = make_pattern(name, net)
+            assert pat.name == name
+        with pytest.raises(ValueError):
+            make_pattern("zigzag", net)
+
+    @given(st.sampled_from(["uniform_random", "transpose", "bit_complement",
+                            "tornado", "neighbor", "hotspot"]))
+    @settings(max_examples=20, deadline=None)
+    def test_patterns_never_self_target(self, name):
+        net = NetworkConfig(width=4, height=4)
+        pat = make_pattern(name, net)
+        src = np.arange(16)
+        for seed in range(3):
+            dst = pat.destinations(src, np.random.default_rng(seed))
+            assert np.all(dst != src)
+
+
+class TestSyntheticTraffic:
+    def test_rate_is_respected(self, net):
+        t = SyntheticTraffic(net, injection_rate=0.1, rng=1)
+        total = sum(len(list(t.generate(c))) for c in range(3000))
+        expected = 0.1 * 16 * 3000  # 1-flit packets
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_mix_rates_account_for_length(self, net):
+        t = SyntheticTraffic(net, injection_rate=0.2, mix=COHERENCE_MIX, rng=1)
+        flits = sum(
+            p.size_flits for c in range(3000) for p in t.generate(c)
+        )
+        assert flits == pytest.approx(0.2 * 16 * 3000, rel=0.1)
+
+    def test_vnet_assignment_follows_class(self, net):
+        t = SyntheticTraffic(net, injection_rate=0.2, mix=COHERENCE_MIX, rng=1)
+        pkts = [p for c in range(500) for p in t.generate(c)]
+        for p in pkts:
+            if p.size_flits == 1:
+                assert p.vnet == 0
+            else:
+                assert p.vnet == 1
+
+    def test_burstiness_preserves_average(self, net):
+        smooth = SyntheticTraffic(net, injection_rate=0.1, rng=1)
+        bursty = SyntheticTraffic(net, injection_rate=0.1, rng=1, burstiness=0.6)
+        n_s = sum(len(list(smooth.generate(c))) for c in range(6000))
+        n_b = sum(len(list(bursty.generate(c))) for c in range(6000))
+        assert n_b == pytest.approx(n_s, rel=0.25)
+
+    def test_deterministic_with_seed(self, net):
+        a = SyntheticTraffic(net, injection_rate=0.1, rng=5)
+        b = SyntheticTraffic(net, injection_rate=0.1, rng=5)
+        pa = [(p.src, p.dest) for c in range(200) for p in a.generate(c)]
+        pb = [(p.src, p.dest) for c in range(200) for p in b.generate(c)]
+        assert pa == pb
+
+    def test_rejects_bad_rates(self, net):
+        with pytest.raises(ValueError):
+            SyntheticTraffic(net, injection_rate=-0.1)
+        with pytest.raises(ValueError):
+            SyntheticTraffic(net, injection_rate=2.0)  # >1 pkt/node/cycle
+        with pytest.raises(ValueError):
+            SyntheticTraffic(net, injection_rate=0.1, mix=())
+
+    def test_packet_class_validation(self):
+        with pytest.raises(ValueError):
+            PacketClass(size_flits=0)
+        with pytest.raises(ValueError):
+            PacketClass(size_flits=1, weight=0)
+
+    def test_null_traffic(self):
+        assert list(NullTraffic().generate(0)) == []
+
+
+class TestTraceTraffic:
+    def test_replay_in_order(self):
+        pkts = [
+            Packet(src=0, dest=1, size_flits=1, creation_cycle=c)
+            for c in (5, 2, 9)
+        ]
+        t = TraceTraffic(pkts)
+        assert [p.creation_cycle for p in t.generate(2)] == [2]
+        assert [p.creation_cycle for p in t.generate(7)] == [5]
+        assert t.remaining == 1
+
+    def test_trace_file_roundtrip(self, tmp_path):
+        pkts = [
+            Packet(src=0, dest=5, size_flits=5, vnet=1, creation_cycle=10),
+            Packet(src=3, dest=1, size_flits=1, creation_cycle=2),
+        ]
+        path = tmp_path / "t.jsonl"
+        assert save_trace(pkts, path) == 2
+        loaded = load_trace(path)
+        assert [(p.src, p.dest, p.size_flits, p.vnet, p.creation_cycle)
+                for p in loaded] == [
+            (3, 1, 1, 0, 2),
+            (0, 5, 5, 1, 10),
+        ]
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(ValueError):
+            record_to_packet({"cycle": 0, "src": 1})
+
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cycle": 0, "src": 0, "dest": 1, "size": 1, "vnet": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_record_source(self, net):
+        src = SyntheticTraffic(net, injection_rate=0.2, rng=1)
+        pkts = record_source(src, 100)
+        assert pkts
+        assert all(0 <= p.creation_cycle < 100 for p in pkts)
+
+
+class TestAppSurrogates:
+    def test_suite_membership(self):
+        assert len(SPLASH2_PROFILES) == 8
+        assert len(PARSEC_PROFILES) == 9
+        assert all(p.suite == "splash2" for p in SPLASH2_PROFILES)
+        assert all(p.suite == "parsec" for p in PARSEC_PROFILES)
+
+    def test_lookup(self):
+        assert app_profile("ocean").suite == "splash2"
+        assert app_profile("canneal").suite == "parsec"
+        with pytest.raises(ValueError):
+            app_profile("doom")
+
+    def test_suites(self):
+        assert suite_profiles("splash2") == SPLASH2_PROFILES
+        assert suite_profiles("parsec") == PARSEC_PROFILES
+        with pytest.raises(ValueError):
+            suite_profiles("spec")
+
+    def test_parsec_loads_heavier_on_average(self):
+        """The paper's 13 % > 10 % ordering rests on this."""
+        s = np.mean([p.injection_rate for p in SPLASH2_PROFILES])
+        p = np.mean([p.injection_rate for p in PARSEC_PROFILES])
+        assert p > s
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", "s", injection_rate=0.0, burstiness=0.1,
+                       hotspot_fraction=0.1)
+        with pytest.raises(ValueError):
+            AppProfile("x", "s", injection_rate=0.1, burstiness=1.0,
+                       hotspot_fraction=0.1)
+
+    def test_directory_homes_on_edges(self):
+        net = NetworkConfig(width=8, height=8)
+        homes = directory_home_nodes(net)
+        assert homes
+        for h in homes:
+            _, y = net.coords(h)
+            assert y in (0, net.height - 1)
+
+    def test_make_app_traffic_two_vnets(self):
+        net = NetworkConfig(
+            width=4, height=4, router=RouterConfig(num_vcs=4, num_vnets=2)
+        )
+        t = make_app_traffic(net, "ocean", rng=1)
+        pkts = [p for c in range(300) for p in t.generate(c)]
+        assert pkts
+        assert {p.vnet for p in pkts} <= {0, 1}
+
+    def test_make_app_traffic_single_vnet(self):
+        net = NetworkConfig(width=4, height=4)
+        t = make_app_traffic(net, "fft", rng=1)
+        pkts = [p for c in range(300) for p in t.generate(c)]
+        assert all(p.vnet == 0 for p in pkts)
+
+    def test_rate_scale(self):
+        net = NetworkConfig(width=4, height=4)
+        lo = make_app_traffic(net, "lu", rng=1, rate_scale=0.5)
+        hi = make_app_traffic(net, "lu", rng=1, rate_scale=2.0)
+        n_lo = sum(len(list(lo.generate(c))) for c in range(2000))
+        n_hi = sum(len(list(hi.generate(c))) for c in range(2000))
+        assert n_hi > 2.5 * n_lo
+        with pytest.raises(ValueError):
+            make_app_traffic(net, "lu", rate_scale=0)
