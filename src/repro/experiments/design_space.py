@@ -27,7 +27,9 @@ from .report import ExperimentResult
 
 
 def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
-             measure: int) -> float:
+             measure: int) -> "PointOutcome":
+    from .parallel import PointOutcome
+
     net = NetworkConfig(
         width=4, height=4,
         router=RouterConfig(num_vcs=num_vcs, buffer_depth=buffer_depth),
@@ -39,7 +41,8 @@ def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
         SyntheticTraffic(net, injection_rate=rate, rng=seed),
         router_factory=protected_router_factory(net),
     )
-    return sim.run().avg_network_latency
+    result = sim.run()
+    return PointOutcome(result.avg_network_latency, cycles=result.cycles)
 
 
 def run(
@@ -48,20 +51,33 @@ def run(
     rate: float = 0.15,
     seed: int = 1,
     measure: int = 2000,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
+    from .parallel import map_sweep
+
     vc_counts = list(vc_counts or (2, 4, 8))
     buffer_depths = list(buffer_depths or (2, 4, 8))
     res = ExperimentResult(
         "design_space",
         "VC/buffer provisioning: latency x SPF x area (extension)",
     )
+    # the simulation grid is the expensive part: one engine point per
+    # (VC count, buffer depth); the SPF/area columns stay analytic
+    grid = [(v, d) for v in vc_counts for d in buffer_depths]
+    latencies, sweep_report = map_sweep(
+        _latency,
+        [(v, d, rate, seed, measure) for v, d in grid],
+        jobs=jobs,
+        labels=[f"{v}vc-{d}deep" for v, d in grid],
+    )
+    lat_by_point = dict(zip(grid, latencies))
     points = {}
     for v in vc_counts:
         geom = RouterGeometry(num_vcs=v)
         ovh = area_overhead(geom)
         spf = analyze_spf(ovh, RouterConfig(num_vcs=v)).spf
         for d in buffer_depths:
-            lat = _latency(v, d, rate, seed, measure)
+            lat = lat_by_point[(v, d)]
             points[(v, d)] = (lat, spf, ovh)
             res.add(
                 f"latency @ {v} VCs, depth {d}", round(lat, 2), None,
@@ -92,4 +108,5 @@ def run(
         True,
     )
     res.extras["points"] = points
+    res.extras["sweep"] = sweep_report
     return res

@@ -26,18 +26,33 @@ def run(
     fault_counts: Optional[Sequence[int]] = None,
     app: str = "ocean",
     cfg: LatencyConfig | None = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
+    from .parallel import SweepTask, run_sweep
+
     fault_counts = list(fault_counts or (0, 8, 16, 32, 64))
     if fault_counts[0] != 0:
         fault_counts = [0] + fault_counts
     cfg = cfg or QUICK_CONFIG
     profile = app_profile(app)
 
+    # one independent, fully seeded simulation per fault count — the
+    # engine reassembles in index order, so parallel == serial
+    tasks = [
+        SweepTask(
+            index=i,
+            fn=run_app,
+            args=(profile, replace(cfg, num_faults=max(n, 1))),
+            kwargs={"faulty": n > 0},
+            label=f"{app}@{n}faults",
+        )
+        for i, n in enumerate(fault_counts)
+    ]
+    results, sweep_report = run_sweep(tasks, jobs=jobs)
+
     base_latency = None
     rows: list[tuple[int, float]] = []
-    for n in fault_counts:
-        run_cfg = replace(cfg, num_faults=max(n, 1))
-        result = run_app(profile, run_cfg, faulty=n > 0)
+    for n, result in zip(fault_counts, results):
         lat = result.avg_network_latency
         if n == 0:
             base_latency = lat
@@ -69,6 +84,7 @@ def run(
         True,
     )
     res.extras["rows"] = rows
+    res.extras["sweep"] = sweep_report
     from .charts import curve
 
     res.extras["chart"] = curve(

@@ -17,6 +17,7 @@ PAPER_OVERALL_OVERHEAD = 0.13
 def run(
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     return suite_experiment(
         "fig8",
@@ -25,4 +26,5 @@ def run(
         PAPER_OVERALL_OVERHEAD,
         cfg=cfg,
         apps=apps,
+        jobs=jobs,
     )

@@ -148,8 +148,28 @@ def run_suite(
     suite: str,
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> list[AppLatency]:
     """All applications of a suite (optionally a named subset)."""
+    results, _ = run_suite_sharded(suite, cfg, apps=apps, jobs=jobs)
+    return results
+
+
+def run_suite_sharded(
+    suite: str,
+    cfg: LatencyConfig | None = None,
+    apps: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> tuple[list[AppLatency], "SweepReport"]:
+    """Suite sweep through the parallel engine: one point per
+    (application, fault-state) pair, reassembled into per-app results.
+
+    Each point's simulation is fully seeded by its own config (traffic
+    and fault seeds derive from ``cfg.seed``), so parallel execution is
+    bit-identical to serial.
+    """
+    from .parallel import SweepTask, run_sweep
+
     cfg = cfg or LatencyConfig()
     profiles = suite_profiles(suite)
     if apps is not None:
@@ -158,7 +178,31 @@ def run_suite(
         missing = wanted - {p.name for p in profiles}
         if missing:
             raise ValueError(f"unknown apps for {suite}: {sorted(missing)}")
-    return [run_app_pair(p, cfg) for p in profiles]
+    tasks = []
+    for p in profiles:
+        for faulty in (False, True):
+            tasks.append(
+                SweepTask(
+                    index=len(tasks),
+                    fn=run_app,
+                    args=(p, cfg, faulty),
+                    label=f"{p.name}:{'faulty' if faulty else 'fault-free'}",
+                )
+            )
+    values, report = run_sweep(tasks, jobs=jobs)
+    results = []
+    for i, p in enumerate(profiles):
+        ff, fy = values[2 * i], values[2 * i + 1]
+        results.append(
+            AppLatency(
+                app=p.name,
+                fault_free=ff.avg_network_latency,
+                faulty=fy.avg_network_latency,
+                fault_free_result=ff,
+                faulty_result=fy,
+            )
+        )
+    return results, report
 
 
 def overall_overhead(results: Sequence[AppLatency]) -> float:
@@ -175,10 +219,11 @@ def suite_experiment(
     paper_overall_overhead: float,
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Shared Figure 7/8 driver producing an :class:`ExperimentResult`."""
     cfg = cfg or LatencyConfig()
-    results = run_suite(suite, cfg, apps=apps)
+    results, sweep_report = run_suite_sharded(suite, cfg, apps=apps, jobs=jobs)
     res = ExperimentResult(experiment, title)
     for r in results:
         res.add(
@@ -199,6 +244,7 @@ def suite_experiment(
     )
     res.extras["results"] = results
     res.extras["config"] = cfg
+    res.extras["sweep"] = sweep_report
     from .charts import latency_figure
 
     res.extras["chart"] = latency_figure(results, title)

@@ -37,8 +37,9 @@ class LoadPoint:
 
 
 def _run(net: NetworkConfig, rate: float, seed: int, faults: int,
-         measure: int) -> float:
+         measure: int) -> "PointOutcome":
     from ..traffic.generator import COHERENCE_MIX
+    from .parallel import PointOutcome
 
     schedule = None
     if faults:
@@ -60,7 +61,7 @@ def _run(net: NetworkConfig, rate: float, seed: int, faults: int,
         fault_schedule=schedule,
     )
     res = sim.run()
-    return res.avg_network_latency
+    return PointOutcome(res.avg_network_latency, cycles=res.cycles)
 
 
 def sweep(
@@ -70,6 +71,7 @@ def sweep(
     num_faults: int = 48,
     seed: int = 1,
     measure: int = 3000,
+    jobs: Optional[int] = None,
 ) -> list[LoadPoint]:
     """Measure the fault-free and faulty curves over ``rates``.
 
@@ -77,26 +79,52 @@ def sweep(
     virtual networks) — multi-flit packets are what make secondary-path
     mux sharing and bypass serialisation visible.
     """
+    points, _ = sweep_sharded(
+        rates, width=width, height=height, num_faults=num_faults,
+        seed=seed, measure=measure, jobs=jobs,
+    )
+    return points
+
+
+def sweep_sharded(
+    rates: Sequence[float],
+    width: int = 4,
+    height: int = 4,
+    num_faults: int = 48,
+    seed: int = 1,
+    measure: int = 3000,
+    jobs: Optional[int] = None,
+) -> tuple[list[LoadPoint], "SweepReport"]:
+    """The sweep through the parallel engine: 2 points per rate
+    (fault-free, faulty), each an independent seeded simulation."""
+    from .parallel import map_sweep
+
     if not rates:
         raise ValueError("need at least one rate")
     net = NetworkConfig(
         width=width, height=height,
         router=RouterConfig(num_vcs=4, num_vnets=2),
     )
-    points = []
+    argtuples, labels = [], []
     for rate in rates:
-        ff = _run(net, rate, seed, 0, measure)
-        fy = _run(net, rate, seed, num_faults, measure)
-        points.append(LoadPoint(rate, ff, fy))
-    return points
+        for faults in (0, num_faults):
+            argtuples.append((net, rate, seed, faults, measure))
+            labels.append(f"rate={rate:.2f}:{'faulty' if faults else 'ff'}")
+    values, report = map_sweep(_run, argtuples, jobs=jobs, labels=labels)
+    points = [
+        LoadPoint(rate, values[2 * i], values[2 * i + 1])
+        for i, rate in enumerate(rates)
+    ]
+    return points, report
 
 
 def run(
     rates: Optional[Sequence[float]] = None,
+    jobs: Optional[int] = None,
     **sweep_kwargs,
 ) -> ExperimentResult:
     rates = list(rates or (0.05, 0.10, 0.15, 0.20, 0.25))
-    points = sweep(rates, **sweep_kwargs)
+    points, sweep_report = sweep_sharded(rates, jobs=jobs, **sweep_kwargs)
     res = ExperimentResult(
         "load_latency",
         "load-latency curves, fault-free vs faulty (extension)",
@@ -124,6 +152,7 @@ def run(
         note="the contention-driven mechanism behind Figures 7/8",
     )
     res.extras["points"] = points
+    res.extras["sweep"] = sweep_report
     from .charts import curve
 
     res.extras["chart"] = (

@@ -21,13 +21,14 @@ def run(
     width: int = 8,
     height: int = 8,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     net = NetworkConfig(width=width, height=height)
     base = analyze_network_reliability(
-        net, "baseline", trials=trials, rng=seed
+        net, "baseline", trials=trials, rng=seed, jobs=jobs
     )
     prot = analyze_network_reliability(
-        net, "protected", trials=trials, rng=seed + 1
+        net, "protected", trials=trials, rng=seed + 1, jobs=jobs
     )
     res = ExperimentResult(
         "network_reliability",
@@ -55,4 +56,5 @@ def run(
     )
     res.extras["baseline"] = base
     res.extras["protected"] = prot
+    res.extras["sweep"] = prot.sweep
     return res

@@ -1,0 +1,259 @@
+"""Deterministic multiprocessing sweep engine (``repro.experiments.parallel``).
+
+Every sweep-shaped artefact of the reproduction — Figures 7/8 (one
+simulation per app x fault-state), Table III's Monte-Carlo campaign, the
+``fault_sweep``/``load_latency``/``design_space`` extensions and the
+fabric-level reliability Monte Carlo — reduces to an *embarrassingly
+parallel* list of independent points.  This module runs such a list
+across worker processes while guaranteeing **bit-identical results to a
+serial run**:
+
+* Each point is a :class:`SweepTask`: a picklable module-level callable
+  plus its arguments, tagged with its position in the sweep.  Results
+  are always reassembled in task order, so reductions downstream see the
+  same operand order regardless of how the work was sharded.
+* All randomness is derived *per point* via
+  :func:`numpy.random.SeedSequence.spawn` (:func:`spawn_seeds`) **before**
+  execution, never from a generator shared across points.  A point's
+  random stream therefore depends only on the root seed and the point's
+  index — not on which worker ran it, or in what order.
+
+Together these two properties make ``jobs=N`` a pure wall-clock knob:
+``tests/test_parallel.py`` pins serial == parallel equality end-to-end.
+
+Workers are plain :mod:`multiprocessing` pools (fork start method where
+available — cheap on Linux, no re-import per worker).  Each worker runs
+one *shard* (a strided slice of the task list) and reports points
+completed, wall time, and simulated cycles; the per-shard
+:class:`ShardReport` list is surfaced through
+``ExperimentResult.extras["sweep"]`` so the CLI can print a timing
+breakdown after every parallel run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# task / result containers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent sweep point.
+
+    ``fn`` must be a module-level (picklable) callable; ``args`` and
+    ``kwargs`` must be picklable too.  ``index`` is the point's position
+    in the sweep — results are reassembled by it.
+    """
+
+    index: int
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Optional rich return value of a task fn: payload + cycles simulated.
+
+    Task functions that run the cycle-accurate simulator should return
+    ``PointOutcome(value, cycles)`` (or any object exposing a ``cycles``
+    attribute, e.g. :class:`~repro.network.simulator.SimulationResult`)
+    so shard reports can account simulated cycles.  Plain return values
+    are passed through with ``cycles=0``.
+    """
+
+    value: Any
+    cycles: int = 0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Progress/timing of one worker shard."""
+
+    shard: int
+    points: int
+    wall_time: float
+    cycles: int
+
+    def format(self) -> str:
+        return (
+            f"shard {self.shard}: {self.points} points, "
+            f"{self.cycles:,} cycles, {self.wall_time:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """What ``run_sweep`` did: shard breakdown + overall wall time."""
+
+    jobs: int
+    points: int
+    wall_time: float
+    shards: tuple[ShardReport, ...]
+
+    @property
+    def cycles(self) -> int:
+        """Total simulated cycles across all shards."""
+        return sum(s.cycles for s in self.shards)
+
+    @property
+    def worker_time(self) -> float:
+        """Summed in-worker wall time (serial-equivalent work)."""
+        return sum(s.wall_time for s in self.shards)
+
+    def format(self) -> str:
+        lines = [
+            f"sweep: {self.points} points on {self.jobs} worker(s) "
+            f"in {self.wall_time:.2f}s "
+            f"(worker time {self.worker_time:.2f}s, "
+            f"{self.cycles:,} cycles simulated)"
+        ]
+        if self.jobs > 1:
+            lines.extend("  " + s.format() for s in self.shards)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# deterministic seeding
+# ----------------------------------------------------------------------
+def spawn_seeds(
+    rng: np.random.SeedSequence | np.random.Generator | int | None,
+    n: int,
+) -> list[np.random.SeedSequence]:
+    """``n`` independent child seeds, one per sweep point / MC trial.
+
+    The children depend only on the root entropy and the spawn index —
+    not on execution order — so seeding each point from its own child
+    makes results independent of worker layout (the serial == parallel
+    guarantee).  Accepts the same ``rng`` spellings the reliability
+    modules already take: an int seed, ``None`` (fresh OS entropy), an
+    existing :class:`~numpy.random.SeedSequence`, or a
+    :class:`~numpy.random.Generator` (spawned via its bit generator's
+    seed sequence).
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of seeds")
+    if isinstance(rng, np.random.SeedSequence):
+        return rng.spawn(n)
+    if isinstance(rng, np.random.Generator):
+        return rng.bit_generator.seed_seq.spawn(n)
+    return np.random.SeedSequence(rng).spawn(n)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise the CLI's ``--jobs`` value to a worker count.
+
+    ``None``/``1`` → serial, ``0`` → all cores, ``N`` → N workers.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    if jobs == 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _execute(task: SweepTask) -> tuple[int, Any, int]:
+    """Run one task; returns (index, value, cycles simulated)."""
+    out = task.fn(*task.args, **task.kwargs)
+    if isinstance(out, PointOutcome):
+        return task.index, out.value, int(out.cycles)
+    cycles = getattr(out, "cycles", 0)
+    return task.index, out, int(cycles) if isinstance(cycles, int) else 0
+
+
+def _run_shard(
+    payload: tuple[int, list[SweepTask]]
+) -> tuple[list[tuple[int, Any, int]], ShardReport]:
+    """Worker entry point: run one shard's tasks serially, in order."""
+    shard_id, tasks = payload
+    t0 = time.perf_counter()
+    rows = [_execute(t) for t in tasks]
+    report = ShardReport(
+        shard=shard_id,
+        points=len(rows),
+        wall_time=time.perf_counter() - t0,
+        cycles=sum(c for _, _, c in rows),
+    )
+    return rows, report
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Fork where the platform has it (cheap, no re-import); else spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    tasks: Iterable[SweepTask] | Sequence[SweepTask],
+    jobs: Optional[int] = None,
+) -> tuple[list[Any], SweepReport]:
+    """Execute all tasks; returns (values in task-index order, report).
+
+    Serial (``jobs`` in {None, 1}) runs in-process; parallel shards the
+    task list round-robin across a process pool.  Because every task is
+    independent and self-seeded, both paths produce identical values.
+    """
+    tasks = list(tasks)
+    indices = sorted(t.index for t in tasks)
+    if indices != list(range(len(tasks))):
+        raise ValueError("task indices must be exactly 0..len(tasks)-1")
+    n_jobs = min(resolve_jobs(jobs), len(tasks)) or 1
+
+    t0 = time.perf_counter()
+    if n_jobs <= 1:
+        shard_outputs = [_run_shard((0, tasks))]
+    else:
+        # round-robin sharding interleaves long and short points (e.g.
+        # low-load vs near-saturation simulations) across workers
+        buckets: list[list[SweepTask]] = [[] for _ in range(n_jobs)]
+        for i, task in enumerate(tasks):
+            buckets[i % n_jobs].append(task)
+        ctx = _pool_context()
+        with ctx.Pool(processes=n_jobs) as pool:
+            shard_outputs = pool.map(_run_shard, list(enumerate(buckets)))
+    wall = time.perf_counter() - t0
+
+    values: list[Any] = [None] * len(tasks)
+    for rows, _ in shard_outputs:
+        for index, value, _cycles in rows:
+            values[index] = value
+    report = SweepReport(
+        jobs=n_jobs,
+        points=len(tasks),
+        wall_time=wall,
+        shards=tuple(rep for _, rep in shard_outputs),
+    )
+    return values, report
+
+
+def map_sweep(
+    fn: Callable[..., Any],
+    argtuples: Iterable[tuple],
+    jobs: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> tuple[list[Any], SweepReport]:
+    """Convenience wrapper: ``fn(*args)`` over a list of argument tuples."""
+    argtuples = list(argtuples)
+    labels = labels or [""] * len(argtuples)
+    tasks = [
+        SweepTask(index=i, fn=fn, args=tuple(args), label=label)
+        for i, (args, label) in enumerate(zip(argtuples, labels))
+    ]
+    return run_sweep(tasks, jobs=jobs)

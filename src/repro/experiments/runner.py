@@ -1,7 +1,11 @@
-"""Experiment CLI: ``python -m repro.experiments <name> [--quick]``.
+"""Experiment CLI: ``python -m repro.experiments <name> [--quick] [--jobs N]``.
 
 ``all`` runs everything (the latency figures take minutes at paper scale;
-``--quick`` switches them to a reduced 4x4 configuration).
+``--quick`` switches them to a reduced 4x4 configuration).  ``--jobs N``
+shards the sweep-shaped experiments (figures, Monte-Carlo campaigns,
+load/fault/design sweeps) across N worker processes via
+:mod:`repro.experiments.parallel`; results are bit-identical to a serial
+run (``--jobs 0`` uses every core).
 """
 
 from __future__ import annotations
@@ -9,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from . import (
     area_power,
@@ -34,62 +38,84 @@ from .latency import LatencyConfig, QUICK_CONFIG
 from .report import ExperimentResult
 
 
-def _fig7(quick: bool) -> ExperimentResult:
-    return fig7.run(cfg=QUICK_CONFIG if quick else None)
+def _fig7(quick: bool, jobs: Optional[int]) -> ExperimentResult:
+    return fig7.run(cfg=QUICK_CONFIG if quick else None, jobs=jobs)
 
 
-def _fig8(quick: bool) -> ExperimentResult:
-    return fig8.run(cfg=QUICK_CONFIG if quick else None)
+def _fig8(quick: bool, jobs: Optional[int]) -> ExperimentResult:
+    return fig8.run(cfg=QUICK_CONFIG if quick else None, jobs=jobs)
 
 
-def _load_latency(quick: bool) -> ExperimentResult:
+def _load_latency(quick: bool, jobs: Optional[int]) -> ExperimentResult:
     if quick:
-        return load_latency.run(rates=(0.04, 0.12), measure=1500)
-    return load_latency.run()
+        return load_latency.run(rates=(0.04, 0.12), measure=1500, jobs=jobs)
+    return load_latency.run(jobs=jobs)
 
 
-EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
-    "table1": lambda quick: table1.run(),
-    "table2": lambda quick: table2.run(),
-    "mttf": lambda quick: mttf.run(mc_samples=20_000 if quick else 100_000),
-    "table3": lambda quick: table3.run(mc_trials=200 if quick else 1000),
-    "spf_sweep": lambda quick: spf_sweep.run(),
-    "area_power": lambda quick: area_power.run(),
-    "critical_path": lambda quick: critical_path.run(),
+#: registry of all artefacts: name -> fn(quick, jobs).  Experiments that
+#: are not sweep-shaped (single analytic computation) ignore ``jobs``.
+EXPERIMENTS: dict[str, Callable[[bool, Optional[int]], ExperimentResult]] = {
+    "table1": lambda quick, jobs: table1.run(),
+    "table2": lambda quick, jobs: table2.run(),
+    "mttf": lambda quick, jobs: mttf.run(
+        mc_samples=20_000 if quick else 100_000
+    ),
+    "table3": lambda quick, jobs: table3.run(
+        mc_trials=200 if quick else 1000, jobs=jobs
+    ),
+    "spf_sweep": lambda quick, jobs: spf_sweep.run(),
+    "area_power": lambda quick, jobs: area_power.run(),
+    "critical_path": lambda quick, jobs: critical_path.run(),
     "fig7": _fig7,
     "fig8": _fig8,
     # extensions beyond the paper's artefacts
     "load_latency": _load_latency,
-    "network_reliability": lambda quick: network_reliability.run(
-        trials=60 if quick else 300
+    "network_reliability": lambda quick, jobs: network_reliability.run(
+        trials=60 if quick else 300, jobs=jobs
     ),
-    "reliability_curves": lambda quick: reliability_curves.run(),
-    "energy": lambda quick: energy.run(
+    "reliability_curves": lambda quick, jobs: reliability_curves.run(),
+    "energy": lambda quick, jobs: energy.run(
         cfg=QUICK_CONFIG if quick else LatencyConfig()
     ),
-    "detection_latency": lambda quick: detection_latency.run(
+    "detection_latency": lambda quick, jobs: detection_latency.run(
         measure_cycles=1500 if quick else 4000
     ),
-    "fault_sweep": lambda quick: fault_sweep.run(
-        fault_counts=(0, 8, 24) if quick else None
+    "fault_sweep": lambda quick, jobs: fault_sweep.run(
+        fault_counts=(0, 8, 24) if quick else None, jobs=jobs
     ),
-    "design_space": lambda quick: design_space.run(
+    "design_space": lambda quick, jobs: design_space.run(
         vc_counts=(2, 4) if quick else None,
         buffer_depths=(2, 4) if quick else None,
         measure=1000 if quick else 2000,
+        jobs=jobs,
     ),
-    "mttf_sensitivity": lambda quick: mttf_sensitivity.run(),
+    "mttf_sensitivity": lambda quick, jobs: mttf_sensitivity.run(),
 }
 
+#: the experiments for which ``--jobs`` changes execution (sweep-shaped)
+PARALLEL_EXPERIMENTS = frozenset(
+    {
+        "fig7",
+        "fig8",
+        "fault_sweep",
+        "load_latency",
+        "design_space",
+        "network_reliability",
+        "table3",
+    }
+)
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+
+def run_experiment(
+    name: str, quick: bool = False, jobs: Optional[int] = None
+) -> ExperimentResult:
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(quick)
+    return fn(quick, jobs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,17 +133,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reduced configuration for the simulation-heavy experiments",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep-shaped experiments "
+        "(default: serial; 0 = all cores; results are bit-identical "
+        "to a serial run)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 0:
+        parser.error("--jobs must be >= 0")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, quick=args.quick)
+        result = run_experiment(name, quick=args.quick, jobs=args.jobs)
         print(result.format())
         chart = result.extras.get("chart")
         if chart:
             print()
             print(chart)
+        sweep_report = result.extras.get("sweep")
+        if sweep_report is not None and args.jobs is not None:
+            print(f"  {sweep_report.format()}")
         print(f"  [{time.time() - t0:.1f}s]\n")
     return 0
 

@@ -25,6 +25,7 @@ def run(
     config: RouterConfig | None = None,
     mc_trials: int = 1000,
     seed: int = 1,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     config = config or RouterConfig()
     rows = build_spf_table(config)
@@ -55,7 +56,9 @@ def run(
         proposed_router_wins(rows),
         True,
     )
-    mc = monte_carlo_faults_to_failure(config, trials=mc_trials, rng=seed)
+    mc = monte_carlo_faults_to_failure(
+        config, trials=mc_trials, rng=seed, jobs=jobs
+    )
     res.add(
         "proposed: MC mean faults to failure",
         round(mc.mean, 2),
@@ -66,4 +69,5 @@ def run(
     res.add("proposed: MC min faults", mc.minimum, 2)
     res.extras["rows"] = rows
     res.extras["mc"] = mc
+    res.extras["sweep"] = mc.sweep
     return res

@@ -104,7 +104,6 @@ class NetworkInterface:
                 packet = queue.popleft()
                 self.allocated[d] = packet.packet_id
                 self.active[vnet] = _ActiveInjection(list(packet.flits()), d)
-                self.stats.packets_injected += 1
                 return
 
     def step(self, cycle: int) -> None:
@@ -126,6 +125,11 @@ class NetworkInterface:
             flit.injection_cycle = cycle
             self.router.receive_flit(PORT_LOCAL, d, flit, cycle)
             self.stats.flits_injected += 1
+            if flit.is_head:
+                # counted here, not at VC allocation: under zero-credit
+                # backpressure an allocated packet may not have entered
+                # the router yet
+                self.stats.packets_injected += 1
             if flit.is_tail:
                 # reallocation on tail: the wire VC may host the next packet
                 self.allocated[d] = None

@@ -151,6 +151,10 @@ class EventScheduler:
             if kind == "flit":
                 _, dst, dst_port, vc, flit = ev
                 sim.routers[dst].receive_flit(dst_port, vc, flit, cycle)
+                # a hop-by-hop link delivery is forward progress too: a
+                # heavily loaded but live network may go many cycles
+                # between ejections without being blocked
+                sim._last_progress = cycle
                 flits += 1
             elif kind == "eject":
                 _, node, vc, flit = ev
@@ -294,7 +298,12 @@ class NoCSimulator:
                 if self._watchdog_tripped(cycle):
                     break
             else:
-                drained = self.flits_in_network == 0
+                # same predicate as the in-loop check: packets still
+                # waiting in NIC source queues mean the network did not
+                # fully drain, even with zero flits in flight
+                drained = self.flits_in_network == 0 and not any(
+                    nic.queued_packets for nic in self.nics
+                )
 
         self.cycle = cycle
         return SimulationResult(

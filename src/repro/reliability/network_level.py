@@ -37,7 +37,7 @@ def sample_router_lifetimes(
     trials: int,
     model: RouterModel = "protected",
     geom: RouterGeometry | None = None,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
 ) -> np.ndarray:
     """Lifetimes in hours, shape (trials, num_routers).
 
@@ -72,6 +72,8 @@ class NetworkReliabilityReport:
     mean_kth_failure: float
     k: int
     mean_disconnection: float
+    #: shard/timing breakdown when run through the parallel sweep engine
+    sweep: object = None
 
     def rows(self) -> list[tuple[str, float]]:
         return [
@@ -81,6 +83,38 @@ class NetworkReliabilityReport:
         ]
 
 
+def _fabric_trial_chunk(
+    network: NetworkConfig,
+    model: RouterModel,
+    seeds: list[np.random.SeedSequence],
+    k: int,
+    geom: Optional[RouterGeometry],
+) -> np.ndarray:
+    """One worker chunk of fabric trials: (first, kth, disconnection)
+    per trial, shape ``(len(seeds), 3)``.
+
+    Each trial samples its lifetimes from its own spawned child seed, so
+    the outcome is independent of how trials are chunked across workers.
+    """
+    n = network.num_nodes
+    topo = Topology(network)
+    out = np.empty((len(seeds), 3))
+    for t, seed in enumerate(seeds):
+        lifetimes = sample_router_lifetimes(n, 1, model, geom, seed)[0]
+        order = np.sort(lifetimes)
+        # kill routers in lifetime order until connectivity breaks
+        killed: set[int] = set()
+        ordering = np.argsort(lifetimes)
+        disconnection = lifetimes[ordering[-1]]  # all dead fallback
+        for idx in ordering:
+            killed.add(int(idx))
+            if not topo.is_connected(frozenset(killed)):
+                disconnection = lifetimes[int(idx)]
+                break
+        out[t] = (order[0], order[k - 1], disconnection)
+    return out
+
+
 def analyze_network_reliability(
     network: NetworkConfig | None = None,
     model: RouterModel = "protected",
@@ -88,6 +122,7 @@ def analyze_network_reliability(
     k: int = 4,
     geom: RouterGeometry | None = None,
     rng: np.random.Generator | int | None = None,
+    jobs: int | None = None,
 ) -> NetworkReliabilityReport:
     """Fabric-level failure-time statistics for one router model.
 
@@ -95,36 +130,48 @@ def analyze_network_reliability(
     connected sub-fabric (some healthy pair cannot communicate at all,
     even with ideal rerouting — a lower bound on XY's tolerance, which
     in practice disconnects even earlier).
+
+    ``jobs`` shards the Monte-Carlo trials across worker processes
+    (0 = all cores); per-trial ``SeedSequence.spawn`` seeding keeps the
+    result bit-identical for any ``jobs`` value.
     """
+    from ..experiments.parallel import (
+        SweepTask,
+        resolve_jobs,
+        run_sweep,
+        spawn_seeds,
+    )
+
     network = network or NetworkConfig()
     n = network.num_nodes
     if not 1 <= k <= n:
         raise ValueError(f"k must be in 1..{n}")
-    topo = Topology(network)
-    lifetimes = sample_router_lifetimes(n, trials, model, geom, rng)
-    order = np.sort(lifetimes, axis=1)
-    first = order[:, 0].mean()
-    kth = order[:, k - 1].mean()
-
-    disconnect_times = np.empty(trials)
-    for t in range(trials):
-        # kill routers in lifetime order until connectivity breaks
-        killed: set[int] = set()
-        ordering = np.argsort(lifetimes[t])
-        disconnect_times[t] = lifetimes[t][ordering[-1]]  # all dead fallback
-        for idx in ordering:
-            killed.add(int(idx))
-            if not topo.is_connected(frozenset(killed)):
-                disconnect_times[t] = lifetimes[t][int(idx)]
-                break
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    seeds = spawn_seeds(rng, trials)
+    n_jobs = min(resolve_jobs(jobs), trials)
+    n_chunks = 1 if n_jobs == 1 else min(trials, n_jobs * 4)
+    bounds = np.linspace(0, trials, n_chunks + 1).astype(int)
+    tasks = [
+        SweepTask(
+            index=i,
+            fn=_fabric_trial_chunk,
+            args=(network, model, seeds[a:b], k, geom),
+            label=f"trials[{a}:{b}]",
+        )
+        for i, (a, b) in enumerate(zip(bounds[:-1], bounds[1:]))
+    ]
+    chunks, report = run_sweep(tasks, jobs=jobs)
+    rows = np.concatenate(chunks)
     return NetworkReliabilityReport(
         model=model,
         num_routers=n,
         trials=trials,
-        mean_first_failure=float(first),
-        mean_kth_failure=float(kth),
+        mean_first_failure=float(rows[:, 0].mean()),
+        mean_kth_failure=float(rows[:, 1].mean()),
         k=k,
-        mean_disconnection=float(disconnect_times.mean()),
+        mean_disconnection=float(rows[:, 2].mean()),
+        sweep=report,
     )
 
 

@@ -135,34 +135,31 @@ class MonteCarloSPF:
     minimum: int
     maximum: int
     samples: np.ndarray
+    #: shard/timing breakdown when run through the parallel sweep engine
+    sweep: object = None
 
     def percentile(self, q: float) -> float:
         return float(np.percentile(self.samples, q))
 
 
-def monte_carlo_faults_to_failure(
-    config: RouterConfig | None = None,
-    trials: int = 2000,
-    rng: np.random.Generator | int | None = None,
-    exact: bool = False,
-    include_va2: bool = False,
-) -> MonteCarloSPF:
-    """Inject faults in random order until the Section VIII predicates fail.
+def _mc_trial_chunk(
+    config: RouterConfig,
+    seeds: list[np.random.SeedSequence],
+    exact: bool,
+    include_va2: bool,
+) -> np.ndarray:
+    """One worker chunk of the faults-to-failure campaign.
 
-    ``include_va2`` matches the paper's SPF accounting when False (the
-    paper's Section VIII analysis covers RC/VA1/SA1/XB sites); set it True
-    together with ``exact=True`` for the extended model.
+    Each trial draws its permutation from its own spawned child seed, so
+    the counts depend only on the root seed and the trial index — never
+    on how trials are chunked across workers.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    config = config or RouterConfig()
-    rng = np.random.default_rng(rng)
     sites = list(
         enumerate_sites(config, protected=True, include_va2=include_va2)
     )
-    counts = np.empty(trials, dtype=np.int64)
-    for t in range(trials):
-        order = rng.permutation(len(sites))
+    counts = np.empty(len(seeds), dtype=np.int64)
+    for t, seed in enumerate(seeds):
+        order = np.random.default_rng(seed).permutation(len(sites))
         state = RouterFaultState(config)
         n = 0
         for i in order:
@@ -171,10 +168,60 @@ def monte_carlo_faults_to_failure(
             if protected_router_failed(state, exact=exact):
                 break
         counts[t] = n
+    return counts
+
+
+def monte_carlo_faults_to_failure(
+    config: RouterConfig | None = None,
+    trials: int = 2000,
+    rng: np.random.Generator | int | None = None,
+    exact: bool = False,
+    include_va2: bool = False,
+    jobs: int | None = None,
+) -> MonteCarloSPF:
+    """Inject faults in random order until the Section VIII predicates fail.
+
+    ``include_va2`` matches the paper's SPF accounting when False (the
+    paper's Section VIII analysis covers RC/VA1/SA1/XB sites); set it True
+    together with ``exact=True`` for the extended model.
+
+    ``jobs`` shards the trials across worker processes (0 = all cores).
+    Trials are seeded per-trial via ``SeedSequence.spawn``, so the result
+    is bit-identical for any ``jobs`` value.
+    """
+    # imported lazily: repro.experiments imports this module at startup
+    from ..experiments.parallel import (
+        SweepTask,
+        resolve_jobs,
+        run_sweep,
+        spawn_seeds,
+    )
+
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    config = config or RouterConfig()
+    seeds = spawn_seeds(rng, trials)
+    n_jobs = min(resolve_jobs(jobs), trials)
+    # a few chunks per worker amortises site enumeration while keeping
+    # the pool busy; chunking cannot change results (per-trial seeding)
+    n_chunks = 1 if n_jobs == 1 else min(trials, n_jobs * 4)
+    bounds = np.linspace(0, trials, n_chunks + 1).astype(int)
+    tasks = [
+        SweepTask(
+            index=k,
+            fn=_mc_trial_chunk,
+            args=(config, seeds[a:b], exact, include_va2),
+            label=f"trials[{a}:{b}]",
+        )
+        for k, (a, b) in enumerate(zip(bounds[:-1], bounds[1:]))
+    ]
+    chunks, report = run_sweep(tasks, jobs=jobs)
+    counts = np.concatenate(chunks)
     return MonteCarloSPF(
         mean=float(counts.mean()),
         std=float(counts.std()),
         minimum=int(counts.min()),
         maximum=int(counts.max()),
         samples=counts,
+        sweep=report,
     )

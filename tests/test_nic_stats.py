@@ -88,6 +88,26 @@ class TestInjection:
         assert router.in_ports[PORT_LOCAL].by_wire(0).occupancy == 2
         assert router.in_ports[PORT_LOCAL].by_wire(2).occupancy == 2
 
+    def test_packets_injected_requires_head_entering_router(self):
+        """Regression: under zero-credit backpressure a packet may win
+        NIC-side VC allocation long before its head flit enters the
+        router; ``packets_injected`` must count the latter event."""
+        nic, router, stats = make_nic(num_vcs=1)
+        # packet A consumes all 4 credits of the single wire VC; its tail
+        # frees the VC so packet B gets allocated with zero credits left
+        nic.enqueue(Packet(src=4, dest=1, size_flits=4))
+        nic.enqueue(Packet(src=4, dest=1, size_flits=1))
+        for c in range(6):
+            nic.step(c)
+        assert stats.flits_injected == 4
+        assert stats.packets_injected == 1  # B has not entered the router
+        # a slot frees downstream -> credit -> B's head really injects
+        router.in_ports[PORT_LOCAL].by_wire(0).dequeue()
+        nic.receive_credit(0)
+        nic.step(6)
+        assert stats.flits_injected == 5
+        assert stats.packets_injected == 2
+
     def test_queued_packets_counts_active(self):
         nic, _, _ = make_nic()
         nic.enqueue(Packet(src=4, dest=1, size_flits=3))

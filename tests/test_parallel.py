@@ -1,0 +1,167 @@
+"""Tests for the deterministic multiprocessing sweep engine
+(:mod:`repro.experiments.parallel`) and the serial == parallel guarantee
+of every sweep-shaped experiment wired into it."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import (
+    PointOutcome,
+    SweepTask,
+    map_sweep,
+    resolve_jobs,
+    run_sweep,
+    spawn_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _with_cycles(x):
+    return PointOutcome(x + 1, cycles=10 * x)
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestEngine:
+    def test_serial_matches_parallel_values(self):
+        serial, _ = map_sweep(_square, [(i,) for i in range(9)])
+        parallel, _ = map_sweep(_square, [(i,) for i in range(9)], jobs=3)
+        assert serial == parallel == [i * i for i in range(9)]
+
+    def test_results_in_task_order(self):
+        tasks = [SweepTask(index=i, fn=_square, args=(i,)) for i in range(7)]
+        values, _ = run_sweep(tasks, jobs=2)
+        assert values == [i * i for i in range(7)]
+
+    def test_bad_indices_rejected(self):
+        tasks = [SweepTask(index=5, fn=_square, args=(1,))]
+        with pytest.raises(ValueError):
+            run_sweep(tasks)
+
+    def test_point_outcome_unwrapped_and_cycles_accounted(self):
+        values, report = map_sweep(_with_cycles, [(i,) for i in range(4)])
+        assert values == [1, 2, 3, 4]
+        assert report.cycles == 10 * (0 + 1 + 2 + 3)
+
+    def test_shard_report_covers_all_points(self):
+        _, report = map_sweep(_square, [(i,) for i in range(10)], jobs=3)
+        assert report.jobs == 3
+        assert sum(s.points for s in report.shards) == 10
+        assert report.points == 10
+        assert "points" in report.format()
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            map_sweep(_boom, [(1,)], jobs=2)
+
+    def test_more_jobs_than_tasks(self):
+        values, report = map_sweep(_square, [(3,)], jobs=8)
+        assert values == [9]
+        assert report.jobs == 1  # clamped to the task count
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1  # all cores
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_independent_of_layout(self):
+        a = spawn_seeds(42, 8)
+        b = spawn_seeds(42, 8)
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+        assert all(
+            np.random.default_rng(x).integers(1 << 30)
+            == np.random.default_rng(y).integers(1 << 30)
+            for x, y in zip(a, b)
+        )
+
+    def test_children_differ(self):
+        a, b = spawn_seeds(42, 2)
+        assert np.random.default_rng(a).integers(1 << 30) != np.random.default_rng(
+            b
+        ).integers(1 << 30)
+
+    def test_accepts_generator_and_seedseq(self):
+        assert len(spawn_seeds(np.random.default_rng(1), 3)) == 3
+        assert len(spawn_seeds(np.random.SeedSequence(1), 3)) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestMonteCarloDeterminism:
+    def test_spf_mc_bit_identical(self):
+        from repro.reliability.spf import monte_carlo_faults_to_failure
+
+        serial = monte_carlo_faults_to_failure(trials=60, rng=11)
+        sharded = monte_carlo_faults_to_failure(trials=60, rng=11, jobs=3)
+        assert np.array_equal(serial.samples, sharded.samples)
+        assert serial.mean == sharded.mean
+        assert sharded.sweep.jobs == 3
+
+    def test_network_reliability_bit_identical(self):
+        from repro.config import NetworkConfig
+        from repro.reliability.network_level import analyze_network_reliability
+
+        net = NetworkConfig(width=3, height=3)
+        serial = analyze_network_reliability(net, trials=24, rng=9)
+        sharded = analyze_network_reliability(net, trials=24, rng=9, jobs=2)
+        assert serial.mean_first_failure == sharded.mean_first_failure
+        assert serial.mean_kth_failure == sharded.mean_kth_failure
+        assert serial.mean_disconnection == sharded.mean_disconnection
+
+
+class TestSimulationSweepDeterminism:
+    def test_load_latency_bit_identical(self):
+        from repro.experiments.load_latency import sweep_sharded
+
+        rates = (0.04, 0.10)
+        serial, _ = sweep_sharded(rates, measure=400, num_faults=8)
+        parallel, report = sweep_sharded(
+            rates, measure=400, num_faults=8, jobs=2
+        )
+        assert serial == parallel
+        assert report.cycles > 0  # simulated cycles are accounted
+
+    def test_fault_sweep_bit_identical(self):
+        from repro.experiments import fault_sweep
+        from repro.experiments.latency import LatencyConfig
+
+        cfg = LatencyConfig(
+            width=4, height=4, warmup_cycles=200, measure_cycles=600,
+            drain_cycles=2000, num_faults=8,
+        )
+        serial = fault_sweep.run(fault_counts=(0, 8), cfg=cfg)
+        parallel = fault_sweep.run(fault_counts=(0, 8), cfg=cfg, jobs=2)
+        assert serial.extras["rows"] == parallel.extras["rows"]
+
+
+class TestRunnerJobsFlag:
+    def test_cli_accepts_jobs(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table3", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep:" in out  # shard report surfaced
+
+    def test_cli_rejects_negative_jobs(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--jobs", "-1"])
+
+    def test_registry_passes_jobs_through(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment("table3", quick=True, jobs=2)
+        assert res.extras["sweep"].jobs == 2

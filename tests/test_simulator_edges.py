@@ -34,6 +34,23 @@ class TestWatchdog:
         res = sim.run()
         assert not res.blocked
 
+    def test_hop_progress_counts_even_without_ejections(self):
+        """Regression: a live packet forwarding hop-by-hop must not be
+        flagged as blocked just because no flit ejects within the
+        watchdog window.  A corner-to-corner packet on a 4x4 mesh takes
+        ~35 cycles before its first ejection; with a 10-cycle watchdog
+        the link deliveries along the way are the only progress signal."""
+        net = make_network_config(4, 4)
+        pkt = Packet(src=0, dest=15, size_flits=1, creation_cycle=0)
+        sim = make_sim(
+            net, traffic=TraceTraffic([pkt]), warmup=0, measure=5,
+            drain=200, watchdog=10,
+        )
+        res = sim.run()
+        assert not res.blocked
+        assert res.drained
+        assert res.stats.packets_ejected == 1
+
 
 class TestDrain:
     def test_drain_budget_exhaustion_reported(self):
@@ -60,6 +77,22 @@ class TestDrain:
         res = sim.run()
         # measurement window was long enough: everything already done
         assert res.drained
+
+    def test_drain_deadline_checks_nic_queues(self):
+        """Regression: at the drain deadline a run must not report
+        drained=True while packets still wait in NIC source queues, even
+        with zero flits in flight.  All wire VCs of NIC 0 are pinned to
+        a phantom packet so its queued packet can never start injecting."""
+        net = make_network_config(3, 3)
+        pkt = Packet(src=0, dest=1, size_flits=1, creation_cycle=0)
+        sim = make_sim(net, traffic=TraceTraffic([pkt]), warmup=0,
+                       measure=5, drain=30)
+        nic = sim.nics[0]
+        nic.allocated = [-1] * len(nic.allocated)
+        res = sim.run()
+        assert nic.queued_packets == 1
+        assert not res.drained
+        assert not res.blocked  # nothing in flight: not a wedge either
 
 
 class TestHooks:
