@@ -60,6 +60,7 @@ class SecondaryPathCrossbar(Crossbar):
     def _compute_plan(self, dest: int) -> Optional[PathPlan]:
         if not (0 <= dest < self.num_ports):
             raise ValueError(f"output port {dest} out of range")
+        self.plans_computed += 1
         faults = self.faults
         normal_ok = dest not in faults.xb_mux and dest not in faults.sa2
         if normal_ok:

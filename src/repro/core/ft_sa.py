@@ -52,6 +52,16 @@ class BypassSAUnit(SAUnit):
         default = self._default_winner(cycle)
         if default in candidates:
             self.router.stats.sa_bypass_grants += 1
+            tracer = self.router.tracer
+            if tracer is not None:
+                tracer.emit(
+                    cycle,
+                    "sa_bypass",
+                    self.router.node,
+                    port=port,
+                    slot=default,
+                    packet=self.router.in_ports[port].slots[default].packet_id,
+                )
             return default
 
         # The default VC has nothing to send.  If it is empty and idle and

@@ -1,4 +1,10 @@
-"""``python -m repro.experiments`` entry point."""
+"""``python -m repro.experiments`` entry point.
+
+See :mod:`repro.experiments.runner` for the CLI surface, including the
+observability flags ``--metrics-out``, ``--trace-out``, and ``--profile``.
+Exits non-zero when any experiment fails, including failures raised
+inside parallel worker shards.
+"""
 
 import sys
 

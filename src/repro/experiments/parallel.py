@@ -35,10 +35,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
+
+from ..observability import merge_exports
 
 
 # ----------------------------------------------------------------------
@@ -76,6 +79,39 @@ class PointOutcome:
 
 
 @dataclass(frozen=True)
+class PointFailure:
+    """An exception captured inside a worker while running one point.
+
+    Failures are *collected*, not swallowed: after every shard finishes,
+    :func:`run_sweep` raises a :class:`SweepError` naming each failed
+    point with its worker-side traceback.  Capturing (rather than letting
+    the exception kill ``pool.map``) guarantees one failing point cannot
+    surface as a silently partial sweep and that the CLI exits non-zero
+    with *every* failure reported, not just the first.
+    """
+
+    index: int
+    label: str
+    error: str
+    traceback: str
+
+    def format(self) -> str:
+        label = f" ({self.label})" if self.label else ""
+        return f"point {self.index}{label}: {self.error}"
+
+
+class SweepError(RuntimeError):
+    """One or more sweep points raised inside their worker shard."""
+
+    def __init__(self, failures: Sequence[PointFailure]) -> None:
+        self.failures = tuple(failures)
+        lines = [f"{len(self.failures)} sweep point(s) failed:"]
+        lines += [f"  {f.format()}" for f in self.failures]
+        lines += ["", "first worker traceback:", self.failures[0].traceback]
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
 class ShardReport:
     """Progress/timing of one worker shard."""
 
@@ -99,6 +135,11 @@ class SweepReport:
     points: int
     wall_time: float
     shards: tuple[ShardReport, ...]
+    #: merged per-point observability data (``repro.observability``):
+    #: ``{"metrics": ..., "traces": [(label, snap), ...], "profile": ...}``
+    #: — ``None`` when no point was instrumented.  Metrics are merged in
+    #: task-index order, so any ``--jobs`` value yields identical bytes.
+    observability: Optional[dict] = None
 
     @property
     def cycles(self) -> int:
@@ -170,8 +211,24 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # execution
 # ----------------------------------------------------------------------
 def _execute(task: SweepTask) -> tuple[int, Any, int]:
-    """Run one task; returns (index, value, cycles simulated)."""
-    out = task.fn(*task.args, **task.kwargs)
+    """Run one task; returns (index, value, cycles simulated).
+
+    Exceptions are captured as :class:`PointFailure` values so the rest
+    of the shard still runs and the parent can report *all* failures.
+    """
+    try:
+        out = task.fn(*task.args, **task.kwargs)
+    except Exception as exc:
+        return (
+            task.index,
+            PointFailure(
+                index=task.index,
+                label=task.label,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            ),
+            0,
+        )
     if isinstance(out, PointOutcome):
         return task.index, out.value, int(out.cycles)
     cycles = getattr(out, "cycles", 0)
@@ -234,11 +291,23 @@ def run_sweep(
     for rows, _ in shard_outputs:
         for index, value, _cycles in rows:
             values[index] = value
+
+    failures = [v for v in values if isinstance(v, PointFailure)]
+    if failures:
+        raise SweepError(failures)
+
+    # fold per-point observability snapshots in task-index order — the
+    # order is independent of sharding, so `--jobs N` merges identically
+    exports = [
+        (tasks[i].label, getattr(v, "observability", None))
+        for i, v in enumerate(values)
+    ]
     report = SweepReport(
         jobs=n_jobs,
         points=len(tasks),
         wall_time=wall,
         shards=tuple(rep for _, rep in shard_outputs),
+        observability=merge_exports(exports),
     )
     return values, report
 

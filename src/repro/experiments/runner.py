@@ -6,14 +6,32 @@ shards the sweep-shaped experiments (figures, Monte-Carlo campaigns,
 load/fault/design sweeps) across N worker processes via
 :mod:`repro.experiments.parallel`; results are bit-identical to a serial
 run (``--jobs 0`` uses every core).
+
+Observability (:mod:`repro.observability`, see ``docs/observability.md``):
+``--metrics-out metrics.json`` collects the per-router per-stage metrics
+registry (merged deterministically across shards and experiments) and the
+merged snapshot also lands in ``ExperimentResult.extras["metrics"]``;
+``--trace-out trace.json`` records flit-lifecycle events and writes a
+Chrome ``trace_event`` file loadable in ``chrome://tracing`` / Perfetto;
+``--profile`` samples per-phase wall time inside the simulator loop.
+
+An experiment that raises — including inside a worker shard of a parallel
+sweep — makes the process exit non-zero; with ``all``, the remaining
+experiments still run and the failures are listed on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Optional
+
+from .. import observability
+from ..observability import merge_exports
+from ..observability.report import render_text
+from ..observability.trace import write_chrome_trace
 
 from . import (
     area_power,
@@ -142,23 +160,111 @@ def main(argv: list[str] | None = None) -> int:
         "(default: serial; 0 = all cores; results are bit-identical "
         "to a serial run)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="collect the observability metrics registry and write the "
+        "merged (shard-order-independent) snapshot as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record flit-lifecycle events and write a Chrome trace_event "
+        "JSON file (load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="events retained per simulation in the trace ring buffer "
+        f"(default {observability.ObservabilityConfig().trace_capacity})",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample per-phase wall time inside the simulator loop and "
+        "print the breakdown",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.trace_capacity is not None and args.trace_capacity < 1:
+        parser.error("--trace-capacity must be >= 1")
+
+    obs_changes: dict = {}
+    if args.metrics_out:
+        obs_changes["metrics"] = True
+    if args.trace_out:
+        obs_changes["trace"] = True
+    if args.trace_capacity is not None:
+        obs_changes["trace_capacity"] = args.trace_capacity
+    if args.profile:
+        obs_changes["profile"] = True
+    if obs_changes:
+        observability.configure(**obs_changes)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures: list[str] = []
+    collected: list = []  # (label, export) pairs across experiments
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, quick=args.quick, jobs=args.jobs)
+        try:
+            result = run_experiment(name, quick=args.quick, jobs=args.jobs)
+        except Exception as exc:
+            failures.append(name)
+            print(f"experiment {name} FAILED: {exc}", file=sys.stderr)
+            continue
+        sweep_report = result.extras.get("sweep")
+        merged = getattr(sweep_report, "observability", None)
+        if merged is not None:
+            result.extras["metrics"] = merged.get("metrics")
+            collected.extend(
+                (f"{name}:{label}" if label else name, {"trace": snap})
+                for label, snap in merged.get("traces") or []
+            )
+            if merged.get("metrics"):
+                collected.append((name, {"metrics": merged["metrics"]}))
+            if merged.get("profile"):
+                collected.append((name, {"profile": merged["profile"]}))
         print(result.format())
         chart = result.extras.get("chart")
         if chart:
             print()
             print(chart)
-        sweep_report = result.extras.get("sweep")
         if sweep_report is not None and args.jobs is not None:
             print(f"  {sweep_report.format()}")
         print(f"  [{time.time() - t0:.1f}s]\n")
+
+    if obs_changes:
+        merged_all = merge_exports(collected) or {
+            "metrics": None, "traces": [], "profile": None,
+        }
+        print(render_text(merged_all))
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fp:
+                json.dump(merged_all.get("metrics"), fp, sort_keys=True, indent=2)
+            print(f"  metrics written to {args.metrics_out}")
+        if args.trace_out:
+            with open(args.trace_out, "w") as fp:
+                n = write_chrome_trace(
+                    fp,
+                    [
+                        (label, snap["trace"]["events"])
+                        for label, snap in collected
+                        if snap.get("trace")
+                    ],
+                )
+            print(f"  {n} trace events written to {args.trace_out}")
+
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -72,6 +72,9 @@ class NetworkInterface:
         self._vnet_rr = 0
         #: partial ejections: packet id -> head flit info
         self._eject_heads: Dict[int, Flit] = {}
+        #: flit-lifecycle tracer (:mod:`repro.observability`); ``None`` —
+        #: the default — makes both emission sites a single attribute check
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # injection side
@@ -125,6 +128,19 @@ class NetworkInterface:
             flit.injection_cycle = cycle
             self.router.receive_flit(PORT_LOCAL, d, flit, cycle)
             self.stats.flits_injected += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    cycle,
+                    "inject",
+                    self.node,
+                    packet=flit.packet_id,
+                    flit=flit.flit_index,
+                    src=flit.src,
+                    dest=flit.dest,
+                    vnet=flit.vnet,
+                    vc=d,
+                )
             if flit.is_head:
                 # counted here, not at VC allocation: under zero-credit
                 # backpressure an allocated packet may not have entered
@@ -159,6 +175,18 @@ class NetworkInterface:
         self.stats.flits_ejected += 1
         # consuming the flit frees the NIC-side buffer slot -> credit back
         sched.return_nic_credit(self.node, wire_vc)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                cycle,
+                "eject",
+                self.node,
+                packet=flit.packet_id,
+                flit=flit.flit_index,
+                src=flit.src,
+                dest=flit.dest,
+                vc=wire_vc,
+            )
         if flit.is_head:
             self._eject_heads[flit.packet_id] = flit
         if flit.is_tail:

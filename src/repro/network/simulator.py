@@ -26,9 +26,11 @@ in the traffic/fault modules.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, Optional, Protocol, Tuple
 
 from ..config import NetworkConfig, PORT_LOCAL, SimulationConfig
+from ..observability import Observability, maybe_create
 from ..router.flit import Packet
 from ..router.router import BaseRouter, BaselineRouter, RouterStats
 from ..router.routing import RoutingFunction, make_routing
@@ -75,6 +77,10 @@ class SimulationResult:
     drained: bool
     router_stats: RouterStats
     faults_injected: int
+    #: exported observability snapshot (``Observability.export``) when the
+    #: run was instrumented, else ``None``; plain dicts, so it survives
+    #: pickling back from parallel sweep workers
+    observability: Optional[dict] = None
 
     @property
     def avg_network_latency(self) -> float:
@@ -92,6 +98,8 @@ class EventScheduler:
         self._sim = sim
         self._events: dict[int, list[tuple]] = {}
         self.cycle = 0
+        #: flit-lifecycle tracer, installed by the simulator when enabled
+        self.tracer = None
 
     # -- called by routers during the XB phase -----------------------------
     def deliver_flit(self, src_node: int, out_port: int, out_vc: int, flit) -> None:
@@ -113,6 +121,17 @@ class EventScheduler:
         self._events.setdefault(when, []).append(
             ("flit", dst, dst_port, out_vc, flit)
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.cycle,
+                "link",
+                src_node,
+                out_port=out_port,
+                out_vc=out_vc,
+                packet=flit.packet_id,
+                flit=flit.flit_index,
+            )
 
     def return_credit(self, node: int, in_port: int, wire_vc: int) -> None:
         """A slot of (node, in_port, wire_vc) freed; credit the upstream."""
@@ -204,6 +223,7 @@ class NoCSimulator:
         routing_kind: str = "xy",
         keep_samples: bool = False,
         on_eject: Optional[Callable] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.config = config
         self.sim_config = sim_config
@@ -227,6 +247,19 @@ class NoCSimulator:
         #: flit consumed at a destination NIC (used e.g. by the ECC
         #: datapath study to decode payload codewords)
         self.on_eject = on_eject
+        #: tracing/metrics/profiling bundle; ``None`` (the default, unless
+        #: :func:`repro.observability.configure` enabled it process-wide)
+        #: keeps every instrumentation site a single attribute check
+        self.obs: Optional[Observability] = (
+            observability if observability is not None else maybe_create()
+        )
+        if self.obs is not None and self.obs.tracer is not None:
+            tracer = self.obs.tracer
+            for r in self.routers:
+                r.tracer = tracer
+            for nic in self.nics:
+                nic.tracer = tracer
+            self.scheduler.tracer = tracer
         self.flits_in_network = 0
         self.faults_injected = 0
         self.cycle = 0
@@ -242,6 +275,15 @@ class NoCSimulator:
                 self.faults_injected += 1
 
     def _step(self, cycle: int, inject_traffic: bool) -> None:
+        obs = self.obs
+        if obs is not None:
+            prof = obs.profiler
+            if prof is not None and prof.should_sample(cycle):
+                self._step_profiled(cycle, inject_traffic, prof)
+                obs.on_cycle(self, cycle)
+                return
+            obs.on_cycle(self, cycle)
+
         self.scheduler.cycle = cycle
         self._inject_faults(cycle)
 
@@ -266,6 +308,52 @@ class NoCSimulator:
             before = self.stats.flits_injected
             nic.step(cycle)
             self.flits_in_network += self.stats.flits_injected - before
+
+    def _step_profiled(self, cycle: int, inject_traffic: bool, prof) -> None:
+        """One cycle with per-phase wall-time sampling (profiling mode).
+
+        Mirrors :meth:`_step` exactly, with a ``perf_counter`` fence
+        between phases; only every ``sample_every``-th cycle pays this.
+        """
+        self.scheduler.cycle = cycle
+        t0 = perf_counter()
+        self._inject_faults(cycle)
+        t1 = perf_counter()
+        prof.record("faults", t1 - t0)
+
+        routers = self.routers
+        sched = self.scheduler
+        for r in routers:
+            if r._xb_queue:
+                r.xb_phase(sched, cycle)
+        t2 = perf_counter()
+        prof.record("xb", t2 - t1)
+        for r in routers:
+            r.sa_phase(cycle)
+        t3 = perf_counter()
+        prof.record("sa", t3 - t2)
+        for r in routers:
+            r.va_phase(cycle)
+        t4 = perf_counter()
+        prof.record("va", t4 - t3)
+        for r in routers:
+            r.rc_phase(cycle)
+        t5 = perf_counter()
+        prof.record("rc", t5 - t4)
+
+        sched.dispatch(cycle)
+        t6 = perf_counter()
+        prof.record("link", t6 - t5)
+
+        if inject_traffic:
+            for packet in self.traffic.generate(cycle):
+                self.nics[packet.src].enqueue(packet)
+        for nic in self.nics:
+            before = self.stats.flits_injected
+            nic.step(cycle)
+            self.flits_in_network += self.stats.flits_injected - before
+        prof.record("nic", perf_counter() - t6)
+        prof.cycle_done()
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -306,6 +394,10 @@ class NoCSimulator:
                 )
 
         self.cycle = cycle
+        obs_export = None
+        if self.obs is not None:
+            self.obs.finalize_run(self)
+            obs_export = self.obs.export()
         return SimulationResult(
             stats=self.stats,
             cycles=cycle,
@@ -313,6 +405,7 @@ class NoCSimulator:
             drained=drained,
             router_stats=self.aggregate_router_stats(),
             faults_injected=self.faults_injected,
+            observability=obs_export,
         )
 
     def _watchdog_tripped(self, cycle: int) -> bool:

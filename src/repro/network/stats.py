@@ -20,6 +20,16 @@ from typing import Optional
 
 import numpy as np
 
+from ..observability.metrics import Histogram
+
+#: network-latency histogram bucket upper edges (cycles); fixed so that
+#: per-shard histograms always merge bucket-by-bucket (upper-inclusive
+#: ``le`` semantics, one extra overflow bucket past the last edge)
+LATENCY_EDGES = (
+    4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+    384, 512, 768, 1024, 1536, 2048,
+)
+
 
 @dataclass
 class LatencySample:
@@ -60,6 +70,9 @@ class NetworkStats:
         self._total_latency_sum = 0
         self._hops_sum = 0
         self._net_latency_max = 0
+        #: always-on bounded histogram of measured network latencies —
+        #: one bisect per completed packet, far off the per-cycle hot path
+        self.latency_hist = Histogram(LATENCY_EDGES)
         #: per-virtual-network (count, network-latency sum) accumulators
         self._vnet_acc: dict[int, list[int]] = {}
         self.measure_start: Optional[int] = None
@@ -89,6 +102,7 @@ class NetworkStats:
         self._hops_sum += sample.hops
         if sample.network_latency > self._net_latency_max:
             self._net_latency_max = sample.network_latency
+        self.latency_hist.observe(sample.network_latency)
         acc = self._vnet_acc.setdefault(sample.vnet, [0, 0])
         acc[0] += 1
         acc[1] += sample.network_latency
@@ -150,6 +164,10 @@ class NetworkStats:
         )
         return float(np.percentile(lat, q))
 
+    def latency_histogram(self) -> dict:
+        """Bucketed network-latency distribution (see ``LATENCY_EDGES``)."""
+        return self.latency_hist.snapshot()
+
     def summary(self) -> dict:
         """Plain-dict summary used by the experiment reports."""
         return {
@@ -161,4 +179,5 @@ class NetworkStats:
             "avg_total_latency": self.avg_total_latency,
             "avg_hops": self.avg_hops,
             "max_network_latency": self.max_network_latency,
+            "latency_histogram": self.latency_histogram(),
         }

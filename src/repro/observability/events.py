@@ -1,0 +1,116 @@
+"""Flit-lifecycle event tracer with bounded ring-buffer storage.
+
+Every stage of a flit's life through the RC/VA/SA/XB pipeline emits one
+event when tracing is enabled:
+
+========== ===========================================================
+kind       emitted when
+========== ===========================================================
+inject     a flit leaves the NIC source queue onto the local input port
+rc         routing computation resolves a head flit's output port
+va_grant   VC allocation succeeds (``borrowed`` set on lent arbiters)
+va_retry   a stage-2 VA arbiter fault forces a retry (+1 cycle)
+sa_grant   switch allocation succeeds (``secondary`` marks the
+           crossbar secondary path, the paper's FSP)
+sa_bypass  the SA stage-1 bypass granted the rotating default winner
+xb         a flit traverses the crossbar (primary or secondary mux)
+link       a flit leaves a router onto an inter-router link
+eject      a flit is consumed by the destination NIC
+========== ===========================================================
+
+The per-kind payload fields are pinned by :data:`EVENT_SCHEMA` (and a
+golden test).  Storage is a ``deque(maxlen=capacity)`` ring: the latest
+``capacity`` events are retained, older ones are dropped and counted, so
+tracing a long run is memory-bounded by construction.
+
+Emission sites live behind ``tracer is not None`` attribute checks in the
+router/NIC/simulator hot paths — with tracing disabled the only cost is
+that check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+__all__ = ["EVENT_KINDS", "EVENT_SCHEMA", "EventTracer", "TraceEvent"]
+
+#: event kind -> sorted tuple of payload field names (the pinned schema)
+EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "inject": ("dest", "flit", "packet", "src", "vc", "vnet"),
+    "rc": ("in_port", "out_port", "packet"),
+    "va_grant": ("borrowed", "in_port", "in_slot", "out_port", "out_vc", "packet"),
+    "va_retry": ("out_port", "out_vc", "packet"),
+    "sa_grant": ("in_port", "out_port", "packet", "secondary"),
+    "sa_bypass": ("packet", "port", "slot"),
+    "xb": ("flit", "in_port", "out_port", "out_vc", "packet", "secondary"),
+    "link": ("flit", "out_port", "out_vc", "packet"),
+    "eject": ("dest", "flit", "packet", "src", "vc"),
+}
+
+EVENT_KINDS: Tuple[str, ...] = tuple(sorted(EVENT_SCHEMA))
+
+#: one stored event: (cycle, kind, node, payload)
+TraceEvent = Tuple[int, str, int, dict]
+
+DEFAULT_CAPACITY = 16384
+
+
+class EventTracer:
+    """Bounded ring buffer of flit-lifecycle events."""
+
+    __slots__ = ("capacity", "emitted", "_buf")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.emitted = 0
+        self._buf: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def emit(self, cycle: int, kind: str, node: int, **payload: object) -> None:
+        """Record one event; oldest events fall off a full ring."""
+        self.emitted += 1
+        self._buf.append((cycle, kind, node, payload))
+
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound."""
+        return self.emitted - len(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self) -> list:
+        """Retained events, oldest first."""
+        return list(self._buf)
+
+    def snapshot(self) -> dict:
+        """Picklable export: ring contents plus accounting."""
+        return {
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "events": self.events(),
+        }
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.emitted = 0
+
+
+def validate_event(event: TraceEvent) -> None:
+    """Assert ``event`` conforms to :data:`EVENT_SCHEMA` (test helper)."""
+    cycle, kind, node, payload = event
+    if kind not in EVENT_SCHEMA:
+        raise ValueError(f"unknown event kind {kind!r}")
+    expected = EVENT_SCHEMA[kind]
+    got = tuple(sorted(payload))
+    if got != expected:
+        raise ValueError(
+            f"{kind} payload fields {got} != schema {expected}"
+        )
+    if cycle < 0 or node < 0:
+        raise ValueError(f"negative cycle/node in {event!r}")

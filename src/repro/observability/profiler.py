@@ -1,0 +1,102 @@
+"""Lightweight wall-time profiling of the simulator's per-cycle phases.
+
+Answers "where does *host* time go" (as opposed to the tracer/metrics,
+which account *simulated* cycles): the simulator's profiled step wraps
+each phase — fault injection, XB, SA, VA, RC, link dispatch, NIC — in a
+``perf_counter`` pair and feeds the deltas here.  To keep the profiled
+run cheap, only every ``sample_every``-th cycle is timed; shares are
+unbiased because the sampling is periodic and phase mix drifts slowly.
+
+Profiles are wall-clock measurements, so unlike metrics they are *not*
+bit-identical across runs or shardings; merged reports sum times and
+samples in task-index order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["STAGE_NAMES", "StageProfiler", "merge_profiles"]
+
+#: the simulator phases, in per-cycle execution order
+STAGE_NAMES: Tuple[str, ...] = (
+    "faults", "xb", "sa", "va", "rc", "link", "nic",
+)
+
+DEFAULT_SAMPLE_EVERY = 16
+
+
+class StageProfiler:
+    """Accumulates sampled wall time per simulator phase."""
+
+    __slots__ = ("sample_every", "samples", "_time", "_count")
+
+    def __init__(self, sample_every: int = DEFAULT_SAMPLE_EVERY) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        #: number of fully profiled cycles
+        self.samples = 0
+        self._time: Dict[str, float] = {s: 0.0 for s in STAGE_NAMES}
+        self._count: Dict[str, int] = {s: 0 for s in STAGE_NAMES}
+
+    # ------------------------------------------------------------------
+    def should_sample(self, cycle: int) -> bool:
+        return cycle % self.sample_every == 0
+
+    def record(self, stage: str, seconds: float) -> None:
+        self._time[stage] += seconds
+        self._count[stage] += 1
+
+    def cycle_done(self) -> None:
+        self.samples += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        return sum(self._time.values())
+
+    def snapshot(self) -> dict:
+        """Picklable summary: per-stage seconds, samples, and share."""
+        total = self.total_time
+        return {
+            "sample_every": self.sample_every,
+            "samples": self.samples,
+            "stages": {
+                s: {
+                    "time_s": self._time[s],
+                    "samples": self._count[s],
+                    "share": (self._time[s] / total) if total > 0 else 0.0,
+                }
+                for s in STAGE_NAMES
+            },
+        }
+
+
+def merge_profiles(snapshots: Iterable[Optional[dict]]) -> Optional[dict]:
+    """Sum profile snapshots (skipping ``None``); ``None`` if all empty."""
+    merged: Optional[dict] = None
+    for snap in snapshots:
+        if not snap:
+            continue
+        if merged is None:
+            merged = {
+                "sample_every": snap["sample_every"],
+                "samples": 0,
+                "stages": {
+                    s: {"time_s": 0.0, "samples": 0, "share": 0.0}
+                    for s in snap["stages"]
+                },
+            }
+        merged["samples"] += snap["samples"]
+        for s, row in snap["stages"].items():
+            acc = merged["stages"].setdefault(
+                s, {"time_s": 0.0, "samples": 0, "share": 0.0}
+            )
+            acc["time_s"] += row["time_s"]
+            acc["samples"] += row["samples"]
+    if merged is not None:
+        total = sum(r["time_s"] for r in merged["stages"].values())
+        for row in merged["stages"].values():
+            row["share"] = (row["time_s"] / total) if total > 0 else 0.0
+    return merged

@@ -1,0 +1,133 @@
+"""Human/machine-readable summaries of an observability export.
+
+Consumes the dict produced by :meth:`Observability.export` (one run) or
+:func:`repro.observability.merge_exports` (a merged sweep) and renders
+
+* :func:`render_text` — a compact console summary: top stall causes and
+  fault-path activations, latency histogram, per-stage wall-time shares,
+  trace-ring accounting;
+* :func:`render_json` — the same data as deterministic JSON (sorted
+  keys), suitable for diffing across runs and for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional
+
+__all__ = ["render_json", "render_text", "summarize_counters"]
+
+#: counters surfaced in the text report's "stall causes" section
+STALL_COUNTERS = (
+    "router.rc_blocked_cycles",
+    "router.va_blocked_cycles",
+    "router.va_no_free_vc_cycles",
+    "router.va_borrow_wait_cycles",
+    "router.sa_blocked_cycles",
+    "router.unreachable_output_cycles",
+)
+
+#: counters surfaced in the "fault-path activations" section
+FAULT_PATH_COUNTERS = (
+    "router.va_borrowed_grants",
+    "router.va_stage2_fault_retries",
+    "router.sa_bypass_grants",
+    "router.vc_transfers",
+    "router.secondary_path_grants",
+)
+
+_LABEL_RE = re.compile(r"\{.*\}$")
+
+
+def summarize_counters(counters: Dict[str, int]) -> Dict[str, int]:
+    """Sum labelled counters down to their base metric names."""
+    totals: Dict[str, int] = {}
+    for key, value in counters.items():
+        base = _LABEL_RE.sub("", key)
+        totals[base] = totals.get(base, 0) + value
+    return dict(sorted(totals.items()))
+
+
+def _fmt_count(n: int) -> str:
+    return f"{n:,}"
+
+
+def render_text(export: Optional[dict]) -> str:
+    """Console summary of one export / merged export."""
+    if not export:
+        return "observability: disabled (nothing collected)"
+    lines: List[str] = ["observability summary"]
+
+    metrics = export.get("metrics")
+    if metrics:
+        totals = summarize_counters(metrics.get("counters", {}))
+        grants = {
+            k: totals.get(k, 0)
+            for k in ("router.va_grants", "router.sa_grants",
+                      "router.flits_traversed")
+        }
+        lines.append(
+            "  pipeline: "
+            + ", ".join(f"{k.split('.')[1]}={_fmt_count(v)}"
+                        for k, v in grants.items())
+        )
+        stalls = {k: totals[k] for k in STALL_COUNTERS if totals.get(k)}
+        if stalls:
+            lines.append("  stall causes:")
+            for k, v in sorted(stalls.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {k.split('.', 1)[1]:<28} {_fmt_count(v)}")
+        faulty = {k: totals[k] for k in FAULT_PATH_COUNTERS if totals.get(k)}
+        if faulty:
+            lines.append("  fault-path activations:")
+            for k, v in sorted(faulty.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {k.split('.', 1)[1]:<28} {_fmt_count(v)}")
+        hist = metrics.get("histograms", {}).get("network.latency_cycles")
+        if hist and hist["count"]:
+            mean = hist["total"] / hist["count"]
+            lines.append(
+                f"  latency histogram: {_fmt_count(hist['count'])} packets, "
+                f"mean {mean:.2f} cycles"
+            )
+
+    profile = export.get("profile")
+    if profile and profile.get("samples"):
+        lines.append(
+            f"  profile ({profile['samples']} sampled cycles, "
+            f"every {profile['sample_every']}):"
+        )
+        rows = sorted(
+            profile["stages"].items(), key=lambda kv: -kv[1]["time_s"]
+        )
+        for stage, row in rows:
+            if row["time_s"] <= 0:
+                continue
+            lines.append(
+                f"    {stage:<8} {row['share']:6.1%}  "
+                f"{row['time_s'] * 1e3:8.2f} ms"
+            )
+
+    traces = export.get("traces")
+    if traces is None and export.get("trace"):
+        traces = [("", export["trace"])]
+    if traces:
+        total = sum(t["emitted"] for _, t in traces)
+        kept = sum(len(t["events"]) for _, t in traces)
+        lines.append(
+            f"  trace: {_fmt_count(total)} events emitted across "
+            f"{len(traces)} run(s), {_fmt_count(kept)} retained "
+            f"({_fmt_count(total - kept)} dropped by ring bound)"
+        )
+    if len(lines) == 1:
+        lines.append("  (no data collected)")
+    return "\n".join(lines)
+
+
+def render_json(export: Optional[dict]) -> str:
+    """Deterministic JSON rendering (sorted keys, stable separators)."""
+    return json.dumps(
+        export if export is not None else {},
+        sort_keys=True,
+        indent=2,
+        default=list,
+    )

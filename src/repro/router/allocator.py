@@ -131,11 +131,21 @@ class VAUnit:
 
         # ---- stage 2: resolve conflicts per downstream VC ----
         grants: list[VAGrant] = []
+        tracer = router.tracer
         for (r, dvc), reqs in proposals.items():
             if (r, dvc) in self.router.faults.va2:
                 for _, vc, _, _, _ in reqs:
                     self._on_stage2_fault(vc, r, dvc)
                     router.stats.va_stage2_fault_retries += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle,
+                            "va_retry",
+                            router.node,
+                            out_port=r,
+                            out_vc=dvc,
+                            packet=vc.packet_id,
+                        )
                 continue
             arb = self.stage2[r][dvc]
             winner = arb.grant([flat for flat, *_ in reqs])
@@ -151,6 +161,18 @@ class VAUnit:
                 router.stats.va_grants += 1
                 if borrowed is not None:
                     router.stats.va_borrowed_grants += 1
+                if tracer is not None:
+                    tracer.emit(
+                        cycle,
+                        "va_grant",
+                        router.node,
+                        in_port=p,
+                        in_slot=s,
+                        out_port=r,
+                        out_vc=dvc,
+                        packet=vc.packet_id,
+                        borrowed=borrowed,
+                    )
                 grants.append(
                     VAGrant(p, s, r, dvc, vc.packet_id, borrowed_from=borrowed)
                 )
@@ -234,6 +256,7 @@ class SAUnit:
             by_arb.setdefault(plan.arb_port, []).append((p, vc, plan))
 
         grants: list[SAGrant] = []
+        tracer = router.tracer
         for arb_port, reqs in by_arb.items():
             if not self._stage2_arbiter_ok(arb_port):
                 continue
@@ -247,6 +270,16 @@ class SAUnit:
                 router.stats.sa_grants += 1
                 if plan.secondary:
                     router.stats.secondary_path_grants += 1
+                if tracer is not None:
+                    tracer.emit(
+                        cycle,
+                        "sa_grant",
+                        router.node,
+                        in_port=p,
+                        out_port=plan.dest,
+                        packet=vc.packet_id,
+                        secondary=plan.secondary,
+                    )
                 grants.append(SAGrant(p, vc, plan))
                 break
         return grants

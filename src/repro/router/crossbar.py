@@ -65,6 +65,9 @@ class Crossbar:
         self.num_ports = num_ports
         self.faults = faults
         self._plan_cache: dict[int, Optional[PathPlan]] = {}
+        #: cold-path diagnostic: plans actually computed (cache misses);
+        #: harvested by the observability metrics registry after a run
+        self.plans_computed = 0
 
     def notify_fault_change(self) -> None:
         """Invalidate cached plans after a fault injection or heal."""
@@ -82,6 +85,7 @@ class Crossbar:
     def _compute_plan(self, dest: int) -> Optional[PathPlan]:
         if not (0 <= dest < self.num_ports):
             raise ValueError(f"output port {dest} out of range")
+        self.plans_computed += 1
         if dest in self.faults.xb_mux or dest in self.faults.sa2:
             return None
         return PathPlan(arb_port=dest, mux=dest, dest=dest, secondary=False)

@@ -27,7 +27,7 @@ from .vc import VCState, VirtualChannel
 class InputPort:
     """VC array of one input port with wire→physical indirection."""
 
-    __slots__ = ("port", "num_vcs", "slots", "_wire_to_phys")
+    __slots__ = ("port", "num_vcs", "slots", "_wire_to_phys", "swaps")
 
     def __init__(self, port: int, num_vcs: int, buffer_depth: int) -> None:
         self.port = port
@@ -37,6 +37,9 @@ class InputPort:
             VirtualChannel(port, v, buffer_depth) for v in range(num_vcs)
         ]
         self._wire_to_phys: List[int] = list(range(num_vcs))
+        #: cold-path diagnostic: slot swaps performed (FT VC transfers);
+        #: harvested by the observability metrics registry after a run
+        self.swaps = 0
 
     # ------------------------------------------------------------------
     # lookups
@@ -68,6 +71,7 @@ class InputPort:
         """
         if slot_a == slot_b:
             return
+        self.swaps += 1
         vcs = self.slots
         va, vb = vcs[slot_a], vcs[slot_b]
         vcs[slot_a], vcs[slot_b] = vb, va

@@ -164,6 +164,9 @@ class BaseRouter:
         self._xb_queue: list[SAGrant] = []
         #: count of non-idle VCs, used by the simulator to skip idle routers
         self._nonidle = 0
+        #: flit-lifecycle tracer (:mod:`repro.observability`); ``None`` —
+        #: the default — makes every emission site a single attribute check
+        self.tracer = None
 
     # -- unit factories (overridden by the protected router) ---------------
     def _make_crossbar(self) -> Crossbar:
@@ -227,6 +230,7 @@ class BaseRouter:
         """Crossbar traversal: commit last cycle's SA grants."""
         if not self._xb_queue:
             return
+        tracer = self.tracer
         for grant in self._xb_queue:
             vc = grant.vc
             plan = grant.plan
@@ -238,6 +242,18 @@ class BaseRouter:
             flit = vc.dequeue()
             flit.hops += 1
             self.stats.flits_traversed += 1
+            if tracer is not None:
+                tracer.emit(
+                    cycle,
+                    "xb",
+                    self.node,
+                    in_port=grant.in_port,
+                    out_port=dest,
+                    out_vc=out_vc,
+                    packet=flit.packet_id,
+                    flit=flit.flit_index,
+                    secondary=plan.secondary,
+                )
             if vc.state == VCState.IDLE:
                 self._nonidle -= 1
             if flit.is_tail:
@@ -285,6 +301,16 @@ class BaseRouter:
                 vc.sp = plan.arb_port if plan.secondary else None
                 vc.fsp = plan.secondary
                 vc.state = VCState.WAITING_VA
+                tracer = self.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        cycle,
+                        "rc",
+                        self.node,
+                        in_port=in_port.port,
+                        out_port=out,
+                        packet=vc.packet_id,
+                    )
 
     # ----------------------------------------------------------------------
     # link-side entry points (called by the simulator)

@@ -20,6 +20,20 @@ def _fresh_packet_ids():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _observability_disabled():
+    """Restore the all-disabled observability default after every test.
+
+    Tests that call :func:`repro.observability.configure` would otherwise
+    leak tracing/metrics into later tests through the process-global
+    config and its environment mirror.
+    """
+    import repro.observability as observability
+
+    yield
+    observability.reset()
+
+
 def make_network_config(width=4, height=4, **router_kwargs) -> NetworkConfig:
     return NetworkConfig(
         width=width, height=height, router=RouterConfig(**router_kwargs)

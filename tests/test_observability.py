@@ -1,0 +1,364 @@
+"""Tests for :mod:`repro.observability`: golden event schema, bounded
+ring tracing, Chrome trace export, the metrics registry and its
+deterministic cross-shard merge (``--jobs 1`` == ``--jobs 4``), the
+profiler, the zero-cost-when-disabled guarantee, and the CLI flags."""
+
+import json
+
+import pytest
+from conftest import make_network_config, make_sim
+
+import repro.observability as observability
+from repro.config import replace
+from repro.core.protected_router import protected_router_factory
+from repro.experiments.latency import QUICK_CONFIG
+from repro.faults.injector import RandomFaultInjector
+from repro.network.simulator import NoCSimulator
+from repro.observability import (
+    EVENT_SCHEMA,
+    EventTracer,
+    MetricsRegistry,
+    Observability,
+    ObservabilityConfig,
+    merge_exports,
+    merge_snapshots,
+)
+from repro.observability.events import validate_event
+from repro.observability.profiler import STAGE_NAMES, StageProfiler, merge_profiles
+from repro.observability.report import render_json, render_text
+from repro.observability.trace import chrome_trace
+from repro.traffic.apps import app_profile, make_app_traffic
+
+
+def _small_cfg():
+    """A faulty-but-tolerable 4x4 configuration sized for unit tests."""
+    return replace(
+        QUICK_CONFIG,
+        warmup_cycles=200,
+        measure_cycles=600,
+        drain_cycles=2000,
+        num_faults=8,
+    )
+
+
+def _traced_run(**obs_kwargs):
+    """One small faulty protected-router run with explicit observability."""
+    obs = Observability(ObservabilityConfig(**obs_kwargs))
+    cfg = _small_cfg()
+    net = cfg.network()
+    traffic = make_app_traffic(net, app_profile("ocean"), rng=cfg.seed)
+    schedule = RandomFaultInjector(
+        net.router,
+        net.num_nodes,
+        mean_interval=10.0,
+        num_faults=cfg.num_faults,
+        rng=cfg.seed + 7919,
+        first_fault_at=0,
+        avoid_failure=True,
+    )
+    sim = NoCSimulator(
+        net,
+        cfg.simulation(),
+        traffic,
+        router_factory=protected_router_factory(net),
+        fault_schedule=schedule,
+        observability=obs,
+    )
+    return sim.run(), obs
+
+
+# ----------------------------------------------------------------------
+# golden event schema
+# ----------------------------------------------------------------------
+class TestEventSchema:
+    #: the pinned schema — changing an event's payload is a contract
+    #: change and must update this table *and* docs/observability.md
+    GOLDEN = {
+        "inject": ("dest", "flit", "packet", "src", "vc", "vnet"),
+        "rc": ("in_port", "out_port", "packet"),
+        "va_grant": (
+            "borrowed", "in_port", "in_slot", "out_port", "out_vc", "packet",
+        ),
+        "va_retry": ("out_port", "out_vc", "packet"),
+        "sa_grant": ("in_port", "out_port", "packet", "secondary"),
+        "sa_bypass": ("packet", "port", "slot"),
+        "xb": ("flit", "in_port", "out_port", "out_vc", "packet", "secondary"),
+        "link": ("flit", "out_port", "out_vc", "packet"),
+        "eject": ("dest", "flit", "packet", "src", "vc"),
+    }
+
+    def test_schema_is_pinned(self):
+        assert EVENT_SCHEMA == self.GOLDEN
+
+    def test_faulty_run_emits_only_conforming_events(self):
+        result, obs = _traced_run(trace=True, trace_capacity=500_000)
+        events = obs.tracer.events()
+        assert events, "traced run emitted nothing"
+        assert obs.tracer.dropped == 0  # capacity chosen to keep everything
+        for ev in events:
+            validate_event(ev)
+        kinds = {kind for _, kind, _, _ in events}
+        # a full lifecycle must appear in any healthy run
+        assert {"inject", "rc", "va_grant", "sa_grant", "xb", "link",
+                "eject"} <= kinds
+
+    def test_validate_event_rejects_bad_payloads(self):
+        with pytest.raises(ValueError):
+            validate_event((0, "nonsense", 0, {}))
+        with pytest.raises(ValueError):
+            validate_event((0, "rc", 0, {"wrong": 1}))
+
+
+class TestTracerRing:
+    def test_ring_bound_and_dropped_accounting(self):
+        tr = EventTracer(capacity=8)
+        for c in range(20):
+            tr.emit(c, "rc", 0, in_port=1, out_port=2, packet=c)
+        assert len(tr) == 8
+        assert tr.emitted == 20
+        assert tr.dropped == 12
+        # the ring keeps the *latest* events
+        assert [e[0] for e in tr.events()] == list(range(12, 20))
+        snap = tr.snapshot()
+        assert snap["capacity"] == 8 and snap["dropped"] == 12
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+
+class TestChromeExport:
+    def test_trace_event_json_structure(self):
+        result, obs = _traced_run(trace=True)
+        doc = chrome_trace([("ocean@8faults", obs.tracer.events())])
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert metadata and spans and len(metadata) + len(spans) == len(events)
+        names = {e["args"]["name"] for e in metadata if e["name"] == "process_name"}
+        assert any(n.startswith("ocean@8faults / router ") for n in names)
+        for e in spans:
+            assert e["ts"] >= 0 and e["dur"] == 1
+            assert set(e) == {"name", "cat", "ph", "ts", "dur", "pid",
+                              "tid", "args"}
+        assert "xb_primary" in {e["name"] for e in spans}
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_points_get_disjoint_pid_ranges(self):
+        ev = [(0, "rc", 3, {"in_port": 0, "out_port": 1, "packet": 9})]
+        doc = chrome_trace([("a", ev), ("b", ev)])
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 2
+
+
+# ----------------------------------------------------------------------
+# zero-cost-when-disabled
+# ----------------------------------------------------------------------
+class TestDisabledPath:
+    def test_default_sim_has_no_observability(self):
+        sim = make_sim(make_network_config(), warmup=50, measure=150,
+                       drain=800)
+        assert sim.obs is None
+        assert all(r.tracer is None for r in sim.routers)
+        assert all(nic.tracer is None for nic in sim.nics)
+        assert sim.scheduler.tracer is None
+        result = sim.run()
+        assert result.observability is None
+
+    def test_configure_enables_and_reset_disables(self):
+        observability.configure(metrics=True)
+        assert observability.maybe_create() is not None
+        sim = make_sim(make_network_config())
+        assert sim.obs is not None and sim.obs.metrics is not None
+        assert sim.obs.tracer is None  # only metrics were requested
+        observability.reset()
+        assert observability.maybe_create() is None
+
+    def test_env_mirror_round_trip(self):
+        import os
+
+        observability.configure(trace=True, profile=True, trace_capacity=123)
+        assert os.environ[observability.ENV_VAR] == "trace,profile"
+        assert os.environ[observability.ENV_CAPACITY_VAR] == "123"
+        observability.reset()
+        assert observability.ENV_VAR not in os.environ
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_and_labels(self):
+        m = MetricsRegistry()
+        m.inc("hits", router=3)
+        m.inc("hits", 4, router=3)
+        m.inc("hits", router=5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"hits{router=3}": 5, "hits{router=5}": 1}
+
+    def test_gauge_merge_keeps_max(self):
+        a = MetricsRegistry()
+        a.set_gauge("peak", 7.0)
+        b = MetricsRegistry()
+        b.set_gauge("peak", 11.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["peak"] == 11.0
+
+    def test_histogram_merge_rejects_mismatched_edges(self):
+        a = MetricsRegistry()
+        a.observe("lat", 3, edges=(1, 2, 4))
+        b = MetricsRegistry()
+        b.observe("lat", 3, edges=(1, 2, 8))
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_is_order_independent(self):
+        snaps = []
+        for k in range(4):
+            m = MetricsRegistry()
+            m.inc("n", k + 1, shard=0)
+            m.observe("h", k, edges=(0, 1, 2, 4))
+            snaps.append(m.snapshot())
+        fwd = merge_snapshots(snaps)
+        rev = merge_snapshots(list(reversed(snaps)))
+        assert fwd["counters"] == rev["counters"]
+        assert fwd["histograms"]["h"]["counts"] == rev["histograms"]["h"]["counts"]
+
+    def test_merge_skips_none(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        merged = merge_snapshots([None, m.snapshot(), None])
+        assert merged["counters"] == {"x": 1}
+
+
+class TestHarvestedMetrics:
+    def test_run_metrics_cover_stages_and_fault_paths(self):
+        result, obs = _traced_run(metrics=True)
+        snap = result.observability["metrics"]
+        counters = snap["counters"]
+        base_names = {k.split("{")[0] for k in counters}
+        assert {"router.flits_traversed", "router.va_grants",
+                "router.sa_grants", "network.packets_ejected",
+                "sim.cycles", "sim.faults_injected"} <= base_names
+        # the 8 tolerated faults must have activated at least one
+        # fault-handling path somewhere in the fabric
+        fault_paths = {"router.sa_bypass_grants",
+                       "router.secondary_path_grants",
+                       "router.va_borrowed_grants",
+                       "router.va_stage2_fault_retries",
+                       "router.vc_transfers"}
+        assert base_names & fault_paths
+        # sampled occupancy + adopted latency histogram
+        assert "network.latency_cycles" in snap["histograms"]
+        assert any(
+            k.startswith("router.occupancy_flits") for k in snap["histograms"]
+        )
+
+
+# ----------------------------------------------------------------------
+# determinism across shardings (the headline guarantee)
+# ----------------------------------------------------------------------
+class TestShardingDeterminism:
+    def test_metrics_bit_identical_jobs_1_vs_4(self):
+        from repro.experiments import fault_sweep
+
+        observability.configure(metrics=True)
+        cfg = _small_cfg()
+        serial = fault_sweep.run(fault_counts=(0, 8), cfg=cfg, jobs=1)
+        parallel = fault_sweep.run(fault_counts=(0, 8), cfg=cfg, jobs=4)
+        m1 = serial.extras["sweep"].observability["metrics"]
+        m4 = parallel.extras["sweep"].observability["metrics"]
+        assert m1["counters"], "sweep collected no metrics"
+        assert json.dumps(m1, sort_keys=True) == json.dumps(m4, sort_keys=True)
+
+    def test_merge_exports_keeps_point_labels(self):
+        ex = {
+            "metrics": MetricsRegistry().snapshot(),
+            "trace": EventTracer(4).snapshot(),
+            "profile": None,
+        }
+        merged = merge_exports([("p0", ex), ("p1", None)])
+        assert [label for label, _ in merged["traces"]] == ["p0"]
+
+    def test_merge_exports_all_empty_is_none(self):
+        assert merge_exports([("a", None), ("b", None)]) is None
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_stage_shares_sum_to_one(self):
+        result, obs = _traced_run(profile=True)
+        snap = result.observability["profile"]
+        assert snap["samples"] > 0
+        assert set(snap["stages"]) == set(STAGE_NAMES)
+        total_share = sum(r["share"] for r in snap["stages"].values())
+        assert total_share == pytest.approx(1.0)
+
+    def test_merge_profiles(self):
+        p = StageProfiler(sample_every=1)
+        p.record("rc", 0.5)
+        p.cycle_done()
+        merged = merge_profiles([p.snapshot(), None, p.snapshot()])
+        assert merged["samples"] == 2
+        assert merged["stages"]["rc"]["time_s"] == pytest.approx(1.0)
+        assert merge_profiles([None, None]) is None
+
+    def test_sampling_stride(self):
+        p = StageProfiler(sample_every=4)
+        assert [c for c in range(8) if p.should_sample(c)] == [0, 4]
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_text_report_sections(self):
+        result, obs = _traced_run(trace=True, metrics=True, profile=True)
+        text = render_text(result.observability)
+        assert "observability summary" in text
+        assert "pipeline:" in text
+        assert "profile (" in text
+        assert "trace:" in text
+        assert "latency histogram:" in text
+
+    def test_json_report_is_deterministic(self):
+        result, _ = _traced_run(metrics=True)
+        a = render_json(result.observability)
+        b = render_json(result.observability)
+        assert a == b
+        assert json.loads(a)["metrics"]["counters"]
+
+    def test_disabled_report(self):
+        assert "disabled" in render_text(None)
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_metrics_and_trace_out(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main([
+            "fault_sweep", "--quick", "--jobs", "2",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert rc == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        out = capsys.readouterr().out
+        assert "observability summary" in out
+
+    def test_trace_capacity_validation(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--trace-capacity", "0"])

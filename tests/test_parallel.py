@@ -165,3 +165,58 @@ class TestRunnerJobsFlag:
 
         res = run_experiment("table3", quick=True, jobs=2)
         assert res.extras["sweep"].jobs == 2
+
+
+def _boom_even(x):
+    if x % 2 == 0:
+        raise ValueError(f"even point {x}")
+    return x
+
+
+class TestWorkerFailures:
+    """A point raising inside a worker must fail the sweep loudly."""
+
+    def test_all_failures_collected_with_tracebacks(self):
+        from repro.experiments.parallel import SweepError
+
+        with pytest.raises(SweepError) as exc_info:
+            map_sweep(
+                _boom_even,
+                [(i,) for i in range(6)],
+                jobs=2,
+                labels=[f"p{i}" for i in range(6)],
+            )
+        err = exc_info.value
+        # every failing point is reported, in task order, with its label
+        assert [f.index for f in err.failures] == [0, 2, 4]
+        assert err.failures[0].label == "p0"
+        assert "ValueError: even point 0" in str(err)
+        assert "Traceback" in err.failures[0].traceback
+
+    def test_sweep_error_is_a_runtime_error(self):
+        from repro.experiments.parallel import SweepError
+
+        assert issubclass(SweepError, RuntimeError)
+
+    def test_serial_path_fails_identically(self):
+        from repro.experiments.parallel import SweepError
+
+        with pytest.raises(SweepError) as exc_info:
+            map_sweep(_boom_even, [(0,)], jobs=1)
+        assert len(exc_info.value.failures) == 1
+
+    def test_cli_exits_nonzero_on_worker_failure(self, capsys, monkeypatch):
+        """Regression: ``python -m repro.experiments`` must not exit 0
+        when an experiment raises inside a parallel worker shard."""
+        from repro.experiments import runner
+
+        def _failing(quick, jobs):
+            values, _ = map_sweep(_boom_even, [(0,), (1,)], jobs=jobs or 2)
+            return values
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", _failing)
+        rc = runner.main(["table1", "--jobs", "2"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "table1 FAILED" in err
+        assert "sweep point(s) failed" in err

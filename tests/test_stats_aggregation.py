@@ -1,0 +1,149 @@
+"""Aggregation semantics of :mod:`repro.network.stats`: latency histogram
+bucket edges (upper-inclusive ``le`` convention), overflow behaviour,
+per-virtual-network breakdowns, measurement-window filtering, and the
+summary surface the experiment reports consume."""
+
+import math
+
+import pytest
+
+from repro.network.stats import LATENCY_EDGES, LatencySample, NetworkStats
+from repro.observability.metrics import Histogram, merge_snapshots
+
+
+def sample(
+    *,
+    packet_id=0,
+    src=0,
+    dest=5,
+    vnet=0,
+    size_flits=1,
+    creation=0,
+    injection=0,
+    ejection=10,
+    hops=2,
+):
+    return LatencySample(
+        packet_id=packet_id,
+        src=src,
+        dest=dest,
+        vnet=vnet,
+        size_flits=size_flits,
+        creation_cycle=creation,
+        injection_cycle=injection,
+        ejection_cycle=ejection,
+        hops=hops,
+    )
+
+
+class TestHistogramEdges:
+    def test_value_on_edge_lands_upper_inclusive(self):
+        h = Histogram((4, 8, 16))
+        h.observe(4)  # == first edge -> bucket 0 (le 4)
+        h.observe(5)  # -> bucket 1 (le 8)
+        h.observe(8)  # == second edge -> bucket 1
+        h.observe(16)  # == last edge -> bucket 2
+        assert h.counts == [1, 2, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram((4, 8))
+        h.observe(9)
+        h.observe(10_000)
+        assert h.counts == [0, 0, 2]
+        assert h.bucket_of(10_000) == len(h.edges)
+
+    def test_mean_survives_bucketing(self):
+        h = Histogram((4, 8))
+        h.observe(3)
+        h.observe(7)
+        assert h.mean == pytest.approx(5.0)
+
+    def test_latency_edges_are_sorted_and_fixed(self):
+        assert list(LATENCY_EDGES) == sorted(LATENCY_EDGES)
+        # fixed edges are the merge contract: every shard's histogram
+        # must share them bucket-for-bucket
+        a = NetworkStats().latency_hist
+        b = NetworkStats().latency_hist
+        assert a.edges == b.edges == list(LATENCY_EDGES)
+
+
+class TestRecordPacket:
+    def test_latency_lands_in_correct_bucket(self):
+        ns = NetworkStats()
+        ns.record_packet(sample(injection=0, ejection=12))  # latency 12
+        hist = ns.latency_histogram()
+        bucket = ns.latency_hist.bucket_of(12)
+        assert hist["counts"][bucket] == 1
+        assert hist["count"] == 1
+        assert LATENCY_EDGES[bucket] == 12  # upper-inclusive: on the edge
+
+    def test_window_filtering(self):
+        ns = NetworkStats()
+        ns.set_window(100, 200)
+        ns.record_packet(sample(creation=50, injection=50, ejection=70))
+        ns.record_packet(sample(creation=150, injection=150, ejection=170))
+        ns.record_packet(sample(creation=200, injection=200, ejection=220))
+        # all three ejected, only the in-window creation is measured
+        assert ns.packets_ejected == 3
+        assert ns.measured_packets == 1
+        assert ns.latency_hist.count == 1
+        assert ns.avg_network_latency == 20.0
+
+    def test_vnet_breakdown_per_class(self):
+        ns = NetworkStats()
+        ns.record_packet(sample(vnet=0, injection=0, ejection=10))
+        ns.record_packet(sample(vnet=0, injection=0, ejection=20))
+        ns.record_packet(sample(vnet=1, injection=0, ejection=40))
+        bd = ns.vnet_breakdown()
+        assert bd[0] == {"packets": 2, "avg_network_latency": 15.0}
+        assert bd[1] == {"packets": 1, "avg_network_latency": 40.0}
+        assert list(bd) == [0, 1]  # sorted by vnet
+
+    def test_max_and_hops(self):
+        ns = NetworkStats()
+        ns.record_packet(sample(injection=0, ejection=30, hops=3))
+        ns.record_packet(sample(injection=0, ejection=10, hops=1))
+        assert ns.max_network_latency == 30
+        assert ns.avg_hops == 2.0
+
+    def test_empty_stats_are_nan(self):
+        ns = NetworkStats()
+        assert math.isnan(ns.avg_network_latency)
+        assert math.isnan(ns.avg_total_latency)
+
+    def test_percentile_requires_kept_samples(self):
+        ns = NetworkStats()
+        ns.record_packet(sample())
+        with pytest.raises(ValueError):
+            ns.latency_percentile(50)
+        kept = NetworkStats(keep_samples=True)
+        kept.record_packet(sample(injection=0, ejection=10))
+        assert kept.latency_percentile(50) == 10.0
+
+
+class TestSummarySurface:
+    def test_summary_includes_latency_histogram(self):
+        ns = NetworkStats()
+        ns.record_packet(sample(injection=0, ejection=10))
+        s = ns.summary()
+        assert s["latency_histogram"]["count"] == 1
+        assert s["measured_packets"] == 1
+        assert s["avg_network_latency"] == 10.0
+
+    def test_shard_histograms_merge_exactly(self):
+        # two "shards" recording disjoint packets must merge to the same
+        # histogram one shard recording everything would produce
+        whole = NetworkStats()
+        part_a = NetworkStats()
+        part_b = NetworkStats()
+        for i, lat in enumerate((3, 12, 12, 700, 5000)):
+            s = sample(packet_id=i, injection=0, ejection=lat)
+            whole.record_packet(s)
+            (part_a if i % 2 == 0 else part_b).record_packet(s)
+        merged = merge_snapshots(
+            [
+                {"histograms": {"lat": part_a.latency_histogram()}},
+                {"histograms": {"lat": part_b.latency_histogram()}},
+            ]
+        )["histograms"]["lat"]
+        assert merged == whole.latency_histogram()
