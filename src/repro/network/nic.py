@@ -17,13 +17,14 @@ Each node's NIC owns the boundary between the core and the fabric:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from ..config import PORT_LOCAL, RouterConfig
 from ..router.flit import Flit, Packet
 from .stats import LatencySample, NetworkStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..observability import EventTracer
     from ..router.router import BaseRouter
     from .simulator import EventScheduler
 
@@ -70,11 +71,19 @@ class NetworkInterface:
         #: from the source queue; queued packets follow on)
         self.active: list[Optional[_ActiveInjection]] = [None] * config.num_vnets
         self._vnet_rr = 0
+        self._n_vnets = config.num_vnets
+        #: packets waiting in source queues or mid-injection; counted up in
+        #: ``enqueue`` and down when the tail flit enters the router, so
+        #: the simulator's drain predicate never re-scans the queues
+        self._queued = 0
+        #: empty→non-empty transition callback; the simulator installs its
+        #: active-NIC-set ``add``.  ``None`` for standalone NICs (tests).
+        self.on_wake: Optional[Callable[[int], None]] = None
         #: partial ejections: packet id -> head flit info
         self._eject_heads: Dict[int, Flit] = {}
         #: flit-lifecycle tracer (:mod:`repro.observability`); ``None`` —
         #: the default — makes both emission sites a single attribute check
-        self.tracer = None
+        self.tracer: Optional["EventTracer"] = None
 
     # ------------------------------------------------------------------
     # injection side
@@ -89,13 +98,14 @@ class NetworkInterface:
             raise ValueError(f"packet vnet {packet.vnet} out of range")
         self.source_queues[packet.vnet].append(packet)
         self.stats.packets_created += 1
+        self._queued += 1
+        if self._queued == 1 and self.on_wake is not None:
+            self.on_wake(self.node)
 
     @property
     def queued_packets(self) -> int:
         """Packets waiting or mid-injection (drain bookkeeping)."""
-        waiting = sum(len(q) for q in self.source_queues)
-        active = sum(1 for a in self.active if a is not None and not a.done)
-        return waiting + active
+        return self._queued
 
     def _try_start(self, vnet: int, cycle: int) -> None:
         """NIC-side VC allocation: bind the next queued packet to a free VC."""
@@ -109,25 +119,34 @@ class NetworkInterface:
                 self.active[vnet] = _ActiveInjection(list(packet.flits()), d)
                 return
 
-    def step(self, cycle: int) -> None:
-        """Inject up to one flit this cycle, round-robin across vnets."""
-        n_vnets = self.config.num_vnets
+    def step(self, cycle: int) -> int:
+        """Inject up to one flit this cycle, round-robin across vnets.
+
+        Returns the number of flits injected (0 or 1), so the simulator's
+        in-flight accounting is a plain addition rather than a diff of the
+        global ``flits_injected`` counter per NIC per cycle.
+        """
+        n_vnets = self._n_vnets
+        active = self.active
+        credits = self.credits
+        stats = self.stats
+        rr = self._vnet_rr
         for i in range(n_vnets):
-            vnet = (self._vnet_rr + i) % n_vnets
-            if self.active[vnet] is None:
+            vnet = (rr + i) % n_vnets
+            if active[vnet] is None:
                 self._try_start(vnet, cycle)
-            inj = self.active[vnet]
+            inj = active[vnet]
             if inj is None:
                 continue
             d = inj.wire_vc
-            if self.credits[d] <= 0:
+            if credits[d] <= 0:
                 continue
             flit = inj.flits[inj.next_idx]
             inj.next_idx += 1
-            self.credits[d] -= 1
+            credits[d] -= 1
             flit.injection_cycle = cycle
             self.router.receive_flit(PORT_LOCAL, d, flit, cycle)
-            self.stats.flits_injected += 1
+            stats.flits_injected += 1
             tracer = self.tracer
             if tracer is not None:
                 tracer.emit(
@@ -145,13 +164,15 @@ class NetworkInterface:
                 # counted here, not at VC allocation: under zero-credit
                 # backpressure an allocated packet may not have entered
                 # the router yet
-                self.stats.packets_injected += 1
+                stats.packets_injected += 1
             if flit.is_tail:
                 # reallocation on tail: the wire VC may host the next packet
                 self.allocated[d] = None
-                self.active[vnet] = None
+                active[vnet] = None
+                self._queued -= 1
             self._vnet_rr = (vnet + 1) % n_vnets
-            return  # local link bandwidth: one flit per cycle
+            return 1  # local link bandwidth: one flit per cycle
+        return 0
 
     def receive_credit(self, wire_vc: int) -> None:
         """The router freed a slot of our local-input-port VC."""

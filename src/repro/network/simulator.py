@@ -17,20 +17,24 @@ most one stage per cycle, which realises the paper's 4-stage pipeline
 RC+VA+SA+XB+LT = 5 cycles at zero load.
 
 The simulator is deliberately plain Python tuned the way the hpc-parallel
-guides recommend: legible first, with cheap activity checks (idle routers
-cost one attribute test per phase) rather than clever machinery; bulk
-randomness (traffic generation, fault schedules) is vectorised with NumPy
-in the traffic/fault modules.
+guides recommend: legible first, then sped up with *activity tracking*
+rather than clever machinery — the cycle loop visits only the routers and
+NICs in the explicit active sets (idle components cost nothing; see
+``docs/performance.md``), link/credit events live in a fixed calendar
+ring, and results are bit-identical to the full-scan reference stepper
+(:meth:`NoCSimulator._step_reference`, pinned by the golden determinism
+test).  Bulk randomness (traffic generation, fault schedules) is
+vectorised with NumPy in the traffic/fault modules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterable, Optional, Protocol, Tuple
+from typing import Callable, Iterable, Optional, Protocol
 
 from ..config import NetworkConfig, PORT_LOCAL, SimulationConfig
-from ..observability import Observability, maybe_create
+from ..observability import EventTracer, Observability, maybe_create
 from ..router.flit import Packet
 from ..router.router import BaseRouter, BaselineRouter, RouterStats
 from ..router.routing import RoutingFunction, make_routing
@@ -91,36 +95,70 @@ class SimulationResult:
         return self.stats.avg_total_latency
 
 
+# integer-coded event kinds: indices into each calendar slot's per-kind
+# event lists (cheaper than string-tag dispatch, and grouping by kind keeps
+# the dispatch loops monomorphic)
+EV_FLIT = 0
+EV_EJECT = 1
+EV_CREDIT = 2
+EV_NIC_CREDIT = 3
+EV_OUT_CREDIT = 4
+_NUM_EVENT_KINDS = 5
+
+
 class EventScheduler:
-    """Link/credit event queue keyed by delivery cycle."""
+    """Link/credit event queue — a calendar ring keyed by delivery cycle.
+
+    Every event is scheduled exactly ``link_latency`` or ``credit_latency``
+    cycles ahead, so a fixed ring of ``max(link, credit) + 1`` slots indexed
+    by ``cycle % span`` replaces a dict keyed on absolute cycles.  Each slot
+    holds one list per event kind.
+
+    Dispatch order is behaviour-identical to the old insertion-ordered
+    queue (and the golden determinism test pins it): within one cycle each
+    delivery targets a distinct (router, port, VC) or (NIC, VC) — one flit
+    per link, one credit per freed slot — so deliveries of *different*
+    kinds commute, and within a kind the per-list insertion order is the
+    old queue's insertion order.  Only ejection has an observable side
+    channel (trace events, ``on_eject``), and ejections stay in their own
+    ordered list.
+    """
 
     def __init__(self, sim: "NoCSimulator") -> None:
         self._sim = sim
-        self._events: dict[int, list[tuple]] = {}
+        self._link_latency = sim.config.link_latency
+        self._credit_latency = sim.config.credit_latency
+        span = max(self._link_latency, self._credit_latency) + 1
+        self._span = span
+        self._ring: list[list[list]] = [
+            [[] for _ in range(_NUM_EVENT_KINDS)] for _ in range(span)
+        ]
+        # dense wiring views (plain list indexing on the per-flit path)
+        self._out_link = sim.topology.out_link
+        self._upstream = sim.topology.upstream_link
+        #: flits in flight (pending EV_FLIT + EV_EJECT events), maintained
+        #: so ``pending_flits`` is O(1) for the per-cycle drain predicate
+        self._in_flight = 0
         self.cycle = 0
         #: flit-lifecycle tracer, installed by the simulator when enabled
-        self.tracer = None
+        self.tracer: Optional["EventTracer"] = None
 
     # -- called by routers during the XB phase -----------------------------
     def deliver_flit(self, src_node: int, out_port: int, out_vc: int, flit) -> None:
         """Put a flit on the link leaving (src_node, out_port)."""
-        sim = self._sim
-        when = self.cycle + sim.config.link_latency
+        slot = self._ring[(self.cycle + self._link_latency) % self._span]
         if out_port == PORT_LOCAL:
-            self._events.setdefault(when, []).append(
-                ("eject", src_node, out_vc, flit)
-            )
+            slot[EV_EJECT].append((src_node, out_vc, flit))
+            self._in_flight += 1
             return
-        link = sim.topology.links.get((src_node, out_port))
+        link = self._out_link[src_node][out_port]
         if link is None:
             raise AssertionError(
                 f"router {src_node} sent a flit off the mesh edge "
                 f"(port {out_port}): routing bug"
             )
-        dst, dst_port = link
-        self._events.setdefault(when, []).append(
-            ("flit", dst, dst_port, out_vc, flit)
-        )
+        slot[EV_FLIT].append((link[0], link[1], out_vc, flit))
+        self._in_flight += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(
@@ -135,79 +173,75 @@ class EventScheduler:
 
     def return_credit(self, node: int, in_port: int, wire_vc: int) -> None:
         """A slot of (node, in_port, wire_vc) freed; credit the upstream."""
-        sim = self._sim
-        when = self.cycle + sim.config.credit_latency
+        slot = self._ring[(self.cycle + self._credit_latency) % self._span]
         if in_port == PORT_LOCAL:
-            self._events.setdefault(when, []).append(("nic_credit", node, wire_vc))
+            slot[EV_NIC_CREDIT].append((node, wire_vc))
             return
-        up = sim.topology.upstream(node, in_port)
+        up = self._upstream[node][in_port]
         if up is None:
             raise AssertionError(
                 f"credit from unconnected port {in_port} of router {node}"
             )
-        src_node, src_out = up
-        self._events.setdefault(when, []).append(
-            ("credit", src_node, src_out, wire_vc)
-        )
+        slot[EV_CREDIT].append((up[0], up[1], wire_vc))
 
     def return_nic_credit(self, node: int, wire_vc: int) -> None:
         """NIC consumed a flit; credit the router's local output port."""
-        when = self.cycle + self._sim.config.credit_latency
-        self._events.setdefault(when, []).append(
-            ("out_credit", node, wire_vc)
-        )
+        slot = self._ring[(self.cycle + self._credit_latency) % self._span]
+        slot[EV_OUT_CREDIT].append((node, wire_vc))
 
     # -- called by the simulator's link phase -------------------------------
     def dispatch(self, cycle: int) -> int:
         """Deliver all events due at ``cycle``; returns #flit deliveries."""
-        events = self._events.pop(cycle, None)
-        if not events:
-            return 0
+        slot = self._ring[cycle % self._span]
+        flit_evs, eject_evs, credit_evs, nic_credit_evs, out_credit_evs = slot
         sim = self._sim
+        routers = sim.routers
         flits = 0
-        for ev in events:
-            kind = ev[0]
-            if kind == "flit":
-                _, dst, dst_port, vc, flit = ev
-                sim.routers[dst].receive_flit(dst_port, vc, flit, cycle)
-                # a hop-by-hop link delivery is forward progress too: a
-                # heavily loaded but live network may go many cycles
-                # between ejections without being blocked
-                sim._last_progress = cycle
-                flits += 1
-            elif kind == "eject":
-                _, node, vc, flit = ev
-                if sim.on_eject is not None:
-                    sim.on_eject(flit, cycle)
-                sim.nics[node].eject(flit, vc, cycle, self)
-                sim.flits_in_network -= 1
-                sim._last_progress = cycle
-                flits += 1
-            elif kind == "credit":
-                _, node, out_port, vc = ev
-                sim.routers[node].receive_credit(out_port, vc)
-            elif kind == "nic_credit":
-                _, node, vc = ev
-                sim.nics[node].receive_credit(vc)
-            elif kind == "out_credit":
-                _, node, vc = ev
-                sim.routers[node].receive_credit(PORT_LOCAL, vc)
-            else:  # pragma: no cover - defensive
-                raise AssertionError(f"unknown event {kind}")
+        if flit_evs:
+            for dst, dst_port, vc, flit in flit_evs:
+                routers[dst].receive_flit(dst_port, vc, flit, cycle)
+            # a hop-by-hop link delivery is forward progress too: a
+            # heavily loaded but live network may go many cycles
+            # between ejections without being blocked
+            sim._last_progress = cycle
+            flits = len(flit_evs)
+            self._in_flight -= flits
+            flit_evs.clear()
+        if eject_evs:
+            nics = sim.nics
+            on_eject = sim.on_eject
+            for node, vc, flit in eject_evs:
+                if on_eject is not None:
+                    on_eject(flit, cycle)
+                nics[node].eject(flit, vc, cycle, self)
+            n = len(eject_evs)
+            sim.flits_in_network -= n
+            sim._last_progress = cycle
+            flits += n
+            self._in_flight -= n
+            eject_evs.clear()
+        if credit_evs:
+            for node, out_port, vc in credit_evs:
+                routers[node].receive_credit(out_port, vc)
+            credit_evs.clear()
+        if nic_credit_evs:
+            nics = sim.nics
+            for node, vc in nic_credit_evs:
+                nics[node].receive_credit(vc)
+            nic_credit_evs.clear()
+        if out_credit_evs:
+            for node, vc in out_credit_evs:
+                routers[node].receive_credit(PORT_LOCAL, vc)
+            out_credit_evs.clear()
         return flits
 
     @property
     def pending_events(self) -> int:
-        return sum(len(v) for v in self._events.values())
+        return sum(len(evs) for slot in self._ring for evs in slot)
 
     def pending_flits(self) -> int:
         """Flits currently in flight on links (incl. NIC ejections)."""
-        return sum(
-            1
-            for evs in self._events.values()
-            for ev in evs
-            if ev[0] in ("flit", "eject")
-        )
+        return self._in_flight
 
 
 class NoCSimulator:
@@ -224,6 +258,7 @@ class NoCSimulator:
         keep_samples: bool = False,
         on_eject: Optional[Callable] = None,
         observability: Optional[Observability] = None,
+        use_reference_stepper: bool = False,
     ) -> None:
         self.config = config
         self.sim_config = sim_config
@@ -265,6 +300,28 @@ class NoCSimulator:
         self.cycle = 0
         self._last_progress = 0
         self.blocked = False
+        #: run the full-scan reference stepper instead of the active-set
+        #: one — slow, kept for the golden determinism test (the two must
+        #: produce byte-identical stats and traces)
+        self.use_reference_stepper = use_reference_stepper
+        #: nodes whose router / NIC has work this cycle.  Updated by the
+        #: ``on_wake`` hooks on idle→busy transitions and pruned in-step;
+        #: ``_step`` iterates these (in sorted node order, for determinism)
+        #: instead of scanning every component every cycle.
+        self._active_routers: set[int] = set()
+        self._active_nics: set[int] = set()
+        wake_router = self._active_routers.add
+        wake_nic = self._active_nics.add
+        for r in self.routers:
+            r.on_wake = wake_router
+        for nic in self.nics:
+            nic.on_wake = wake_nic
+        if not self.routing.adaptive:
+            # non-adaptive routing: share one precomputed route table and
+            # give every router its node's row for O(1) route lookup
+            table = self.routing.route_table()
+            for r in self.routers:
+                r.route_row = table[r.node]
 
     # ------------------------------------------------------------------
     def _inject_faults(self, cycle: int) -> None:
@@ -284,30 +341,47 @@ class NoCSimulator:
                 return
             obs.on_cycle(self, cycle)
 
-        self.scheduler.cycle = cycle
-        self._inject_faults(cycle)
+        sched = self.scheduler
+        sched.cycle = cycle
+        if self.fault_schedule is not None:
+            self._inject_faults(cycle)
 
         routers = self.routers
-        sched = self.scheduler
-        for r in routers:
+        # Snapshot the active routers in sorted node order: phase (and
+        # trace) order then matches the reference full scan exactly.  The
+        # four phase loops stay separate — phases of different routers are
+        # independent within a cycle, but trace emission order is not.
+        active = [routers[n] for n in sorted(self._active_routers)]
+        for r in active:
             if r._xb_queue:
                 r.xb_phase(sched, cycle)
-        for r in routers:
+        for r in active:
             r.sa_phase(cycle)
-        for r in routers:
+        for r in active:
             r.va_phase(cycle)
-        for r in routers:
+        for r in active:
             r.rc_phase(cycle)
+        # Prune before dispatch: anything dispatch wakes (flit deliveries)
+        # re-enters through the on_wake hook.
+        discard = self._active_routers.discard
+        for r in active:
+            if r._nonidle == 0 and not r._xb_queue:
+                discard(r.node)
 
         sched.dispatch(cycle)
 
+        nics = self.nics
         if inject_traffic:
             for packet in self.traffic.generate(cycle):
-                self.nics[packet.src].enqueue(packet)
-        for nic in self.nics:
-            before = self.stats.flits_injected
-            nic.step(cycle)
-            self.flits_in_network += self.stats.flits_injected - before
+                nics[packet.src].enqueue(packet)
+        injected = 0
+        discard_nic = self._active_nics.discard
+        for n in sorted(self._active_nics):
+            nic = nics[n]
+            injected += nic.step(cycle)
+            if nic._queued == 0:
+                discard_nic(n)
+        self.flits_in_network += injected
 
     def _step_profiled(self, cycle: int, inject_traffic: bool, prof) -> None:
         """One cycle with per-phase wall-time sampling (profiling mode).
@@ -315,29 +389,34 @@ class NoCSimulator:
         Mirrors :meth:`_step` exactly, with a ``perf_counter`` fence
         between phases; only every ``sample_every``-th cycle pays this.
         """
-        self.scheduler.cycle = cycle
+        sched = self.scheduler
+        sched.cycle = cycle
         t0 = perf_counter()
         self._inject_faults(cycle)
         t1 = perf_counter()
         prof.record("faults", t1 - t0)
 
         routers = self.routers
-        sched = self.scheduler
-        for r in routers:
+        active = [routers[n] for n in sorted(self._active_routers)]
+        for r in active:
             if r._xb_queue:
                 r.xb_phase(sched, cycle)
         t2 = perf_counter()
         prof.record("xb", t2 - t1)
-        for r in routers:
+        for r in active:
             r.sa_phase(cycle)
         t3 = perf_counter()
         prof.record("sa", t3 - t2)
-        for r in routers:
+        for r in active:
             r.va_phase(cycle)
         t4 = perf_counter()
         prof.record("va", t4 - t3)
-        for r in routers:
+        for r in active:
             r.rc_phase(cycle)
+        discard = self._active_routers.discard
+        for r in active:
+            if r._nonidle == 0 and not r._xb_queue:
+                discard(r.node)
         t5 = perf_counter()
         prof.record("rc", t5 - t4)
 
@@ -345,15 +424,68 @@ class NoCSimulator:
         t6 = perf_counter()
         prof.record("link", t6 - t5)
 
+        nics = self.nics
+        if inject_traffic:
+            for packet in self.traffic.generate(cycle):
+                nics[packet.src].enqueue(packet)
+        injected = 0
+        discard_nic = self._active_nics.discard
+        for n in sorted(self._active_nics):
+            nic = nics[n]
+            injected += nic.step(cycle)
+            if nic._queued == 0:
+                discard_nic(n)
+        self.flits_in_network += injected
+        prof.record("nic", perf_counter() - t6)
+        prof.cycle_done()
+
+    def _step_reference(self, cycle: int, inject_traffic: bool) -> None:
+        """The pre-active-set full-scan stepper (reference semantics).
+
+        Scans every router for every phase and every NIC for injection —
+        exactly the seed implementation.  Kept as the oracle for the
+        golden determinism test: running the same configuration through
+        this stepper and through :meth:`_step` must produce byte-identical
+        statistics and trace streams.  The active sets are rebuilt from
+        component state after each cycle so the two steppers can even be
+        interleaved.
+        """
+        obs = self.obs
+        if obs is not None:
+            obs.on_cycle(self, cycle)
+
+        sched = self.scheduler
+        sched.cycle = cycle
+        self._inject_faults(cycle)
+
+        routers = self.routers
+        for r in routers:
+            if r._xb_queue:
+                r.xb_phase(sched, cycle)
+        for r in routers:
+            r.sa_phase(cycle)
+        for r in routers:
+            r.va_phase(cycle)
+        for r in routers:
+            r.rc_phase(cycle)
+
+        sched.dispatch(cycle)
+
         if inject_traffic:
             for packet in self.traffic.generate(cycle):
                 self.nics[packet.src].enqueue(packet)
+        injected = 0
         for nic in self.nics:
-            before = self.stats.flits_injected
-            nic.step(cycle)
-            self.flits_in_network += self.stats.flits_injected - before
-        prof.record("nic", perf_counter() - t6)
-        prof.cycle_done()
+            injected += nic.step(cycle)
+        self.flits_in_network += injected
+
+        # rebuild in place (the on_wake hooks hold bound ``add`` methods)
+        active_routers = self._active_routers
+        active_routers.clear()
+        active_routers.update(r.node for r in routers if r.busy)
+        active_nics = self._active_nics
+        active_nics.clear()
+        active_nics.update(nic.node for nic in self.nics if nic._queued)
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -363,10 +495,11 @@ class NoCSimulator:
         inject_until = sc.warmup_cycles + sc.measure_cycles
         cycle = self.cycle
         self._last_progress = cycle
+        step = self._step_reference if self.use_reference_stepper else self._step
 
         # warmup + measurement
         while cycle < inject_until:
-            self._step(cycle, inject_traffic=True)
+            step(cycle, inject_traffic=True)
             cycle += 1
             if self._watchdog_tripped(cycle):
                 break
@@ -376,12 +509,13 @@ class NoCSimulator:
         if not self.blocked:
             drain_deadline = cycle + sc.drain_cycles
             while cycle < drain_deadline:
-                if self.flits_in_network == 0 and not any(
-                    nic.queued_packets for nic in self.nics
-                ):
+                # the active-NIC set is exactly the NICs with queued or
+                # mid-injection packets, so this is the old
+                # ``any(nic.queued_packets ...)`` scan in O(1)
+                if self.flits_in_network == 0 and not self._active_nics:
                     drained = True
                     break
-                self._step(cycle, inject_traffic=False)
+                step(cycle, inject_traffic=False)
                 cycle += 1
                 if self._watchdog_tripped(cycle):
                     break
@@ -389,9 +523,7 @@ class NoCSimulator:
                 # same predicate as the in-loop check: packets still
                 # waiting in NIC source queues mean the network did not
                 # fully drain, even with zero flits in flight
-                drained = self.flits_in_network == 0 and not any(
-                    nic.queued_packets for nic in self.nics
-                )
+                drained = self.flits_in_network == 0 and not self._active_nics
 
         self.cycle = cycle
         obs_export = None
@@ -431,11 +563,20 @@ class NoCSimulator:
         for r in self.routers:
             r.check_invariants()
         buffered = sum(r.buffered_flits() for r in self.routers)
-        in_xb = sum(len(r._xb_queue) for r in self.routers)
-        # flits are in buffers, granted for XB (still buffered), or on links
+        # flits are in buffers (XB grants reference still-buffered flits)
+        # or on links
         assert buffered + self.scheduler.pending_flits() == self.flits_in_network, (
             f"flit conservation violated: buffered={buffered} "
             f"on_links={self.scheduler.pending_flits()} "
             f"tracked={self.flits_in_network}"
         )
-        del in_xb
+        busy = {r.node for r in self.routers if r.busy}
+        assert self._active_routers == busy, (
+            f"active-router set {sorted(self._active_routers)} != "
+            f"busy routers {sorted(busy)}"
+        )
+        queued = {nic.node for nic in self.nics if nic.queued_packets}
+        assert self._active_nics == queued, (
+            f"active-NIC set {sorted(self._active_nics)} != "
+            f"NICs with queued packets {sorted(queued)}"
+        )

@@ -15,7 +15,7 @@ Latency definitions (standard, GARNET-compatible):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

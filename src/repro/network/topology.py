@@ -4,6 +4,11 @@ Produces the static wiring tables the simulator uses every cycle:
 ``links[(node, out_port)] -> (neighbour, neighbour_in_port)``.  The local
 port of every router connects to that node's network interface.
 
+Besides the ``links`` dict, dense per-node arrays (:attr:`Topology.out_link`
+and :attr:`Topology.upstream_link`) expose the same wiring as plain list
+indexing for the event scheduler's per-flit hot path — no tuple-key hashing
+per link traversal.
+
 A `networkx` view of the fabric is exposed for structural analysis (path
 diversity, connectivity under failed routers — used by tests and by the
 network-level failure analysis in the experiments).
@@ -30,6 +35,17 @@ class Topology:
         self.config = config
         #: (node, out_port) -> (dst_node, dst_in_port) for router-router links
         self.links: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        num_ports = config.router.num_ports
+        #: dense view: ``out_link[node][out_port]`` is the same
+        #: ``(dst_node, dst_in_port)`` as ``links``, or ``None`` on edges
+        self.out_link: list[list[Optional[Tuple[int, int]]]] = [
+            [None] * num_ports for _ in range(config.num_nodes)
+        ]
+        #: dense view: ``upstream_link[node][in_port]`` ==
+        #: :meth:`upstream`\ ``(node, in_port)``, or ``None``
+        self.upstream_link: list[list[Optional[Tuple[int, int]]]] = [
+            [None] * num_ports for _ in range(config.num_nodes)
+        ]
         self._build()
 
     def _build(self) -> None:
@@ -49,6 +65,10 @@ class Topology:
                 if neighbour == node:
                     continue
                 self.links[(node, port)] = (neighbour, OPPOSITE_PORT[port])
+                self.out_link[node][port] = (neighbour, OPPOSITE_PORT[port])
+                # the link arriving on our input port `port` is fed by the
+                # neighbour in that direction, through its opposite output
+                self.upstream_link[node][port] = (neighbour, OPPOSITE_PORT[port])
 
     def neighbour(self, node: int, out_port: int) -> Optional[Tuple[int, int]]:
         """(dst_node, dst_in_port) reached through ``out_port``, if wired."""

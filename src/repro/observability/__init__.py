@@ -43,6 +43,7 @@ from .metrics import DEFAULT_EDGES, Histogram, MetricsRegistry, merge_snapshots
 from .profiler import DEFAULT_SAMPLE_EVERY, StageProfiler, merge_profiles
 
 __all__ = [
+    "DEFAULT_EDGES",
     "EVENT_KINDS",
     "EVENT_SCHEMA",
     "EventTracer",

@@ -31,7 +31,7 @@ that check.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Tuple
 
 __all__ = ["EVENT_KINDS", "EVENT_SCHEMA", "EventTracer", "TraceEvent"]
 

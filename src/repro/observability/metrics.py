@@ -191,7 +191,9 @@ def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
                 continue
             if acc["edges"] != h["edges"]:
                 raise ValueError(f"histogram {k!r}: edges differ across shards")
-            acc["counts"] = [a + b for a, b in zip(acc["counts"], h["counts"])]
+            acc["counts"] = [
+                a + b for a, b in zip(acc["counts"], h["counts"], strict=True)
+            ]
             acc["count"] += h["count"]
             acc["total"] += h["total"]
     return {

@@ -15,7 +15,7 @@ file: each point's routers get their own pid block, labelled
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, Iterable, Optional, Sequence, Tuple
+from typing import IO, Dict, Iterable, Sequence, Tuple
 
 from .events import TraceEvent
 

@@ -90,6 +90,7 @@ def _reset_dynamic_state(router: ProtectedRouter) -> None:
         for vc in ip.slots:
             vc.buffer.clear()
             vc._finish_packet()
+        ip.nonidle = 0
     for op in router.out_ports:
         op.credits = [cfg.buffer_depth] * cfg.num_vcs
         op.allocated = [None] * cfg.num_vcs

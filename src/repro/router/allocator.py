@@ -23,7 +23,7 @@ override the hook methods marked below.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from .arbiter import make_arbiter
@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .router import BaseRouter
 
 
-@dataclass
+@dataclass(slots=True)
 class VAGrant:
     """Outcome of one successful VC allocation (diagnostics/tests)."""
 
@@ -46,7 +46,7 @@ class VAGrant:
     borrowed_from: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SAGrant:
     """A switch-allocation winner: ``vc``'s front flit crosses next cycle."""
 
@@ -71,6 +71,11 @@ class VAUnit:
         self.stage2 = [
             [make_arbiter(P * V, arbiter_kind) for _ in range(V)] for _ in range(P)
         ]
+        #: precomputed vnet lookups — ``allocate`` runs per waiting VC per
+        #: cycle, so the modular arithmetic of ``vnet_of_vc``/``vcs_of_vnet``
+        #: is hoisted out of the hot loop
+        self._vnet_of_vc = [cfg.vnet_of_vc(d) for d in range(V)]
+        self._vnet_vcs = [list(cfg.vcs_of_vnet(vn)) for vn in range(cfg.num_vnets)]
 
     # -- hooks the protected router overrides --------------------------------
     def _stage1_arbiters(self, port: int, slot: int):
@@ -94,34 +99,39 @@ class VAUnit:
     def allocate(self, cycle: int) -> list[VAGrant]:
         """Run both VA stages for every VC in ``WAITING_VA`` state."""
         router = self.router
-        cfg = router.config
-        V = cfg.num_vcs
+        stats = router.stats
+        out_ports = router.out_ports
+        vnet_of_vc = self._vnet_of_vc
+        vnet_vcs = self._vnet_vcs
+        V = router.config.num_vcs
+        waiting = VCState.WAITING_VA
 
         # ---- stage 1: each waiting VC picks a free downstream VC ----
         # proposals: (out_port, dvc) -> list of (flat requester id, vc, meta)
         proposals: dict[tuple[int, int], list[tuple[int, VirtualChannel, int, int, Optional[int]]]] = {}
         for p, in_port in enumerate(router.in_ports):
+            if in_port.nonidle == 0:
+                continue
             for s, vc in enumerate(in_port.slots):
-                if vc.state != VCState.WAITING_VA:
+                if vc.state is not waiting:
                     continue
                 r = vc.route
                 assert r is not None, "VC in WAITING_VA without a route"
                 arbs = self._stage1_arbiters(p, s)
                 if arbs is None:
-                    router.stats.va_blocked_cycles += 1
+                    stats.va_blocked_cycles += 1
                     continue
                 owner_slot, arb_row = arbs
-                vnet = cfg.vnet_of_vc(vc.index)
-                free = router.out_ports[r].free_vcs(cfg.vcs_of_vnet(vnet))
+                free = out_ports[r].free_vcs(vnet_vcs[vnet_of_vc[vc.index]])
                 excluded = vc.va_excluded
                 if excluded:
                     free = [d for d in free if d not in excluded]
                 if not free:
-                    router.stats.va_no_free_vc_cycles += 1
+                    stats.va_no_free_vc_cycles += 1
                     continue
                 choice = arb_row[r].grant(free)
                 if choice is None:  # arbiter itself faulty
-                    router.stats.va_blocked_cycles += 1
+                    stats.va_blocked_cycles += 1
                     continue
                 flat = p * V + s
                 borrowed = owner_slot if owner_slot != s else None
@@ -132,11 +142,12 @@ class VAUnit:
         # ---- stage 2: resolve conflicts per downstream VC ----
         grants: list[VAGrant] = []
         tracer = router.tracer
+        faults_va2 = router.faults.va2
         for (r, dvc), reqs in proposals.items():
-            if (r, dvc) in self.router.faults.va2:
+            if (r, dvc) in faults_va2:
                 for _, vc, _, _, _ in reqs:
                     self._on_stage2_fault(vc, r, dvc)
-                    router.stats.va_stage2_fault_retries += 1
+                    stats.va_stage2_fault_retries += 1
                     if tracer is not None:
                         tracer.emit(
                             cycle,
@@ -157,10 +168,10 @@ class VAUnit:
                 vc.out_vc = dvc
                 vc.state = VCState.ACTIVE
                 vc.va_excluded = None
-                router.out_ports[r].allocated[dvc] = vc.packet_id
-                router.stats.va_grants += 1
+                out_ports[r].allocated[dvc] = vc.packet_id
+                stats.va_grants += 1
                 if borrowed is not None:
-                    router.stats.va_borrowed_grants += 1
+                    stats.va_borrowed_grants += 1
                 if tracer is not None:
                     tracer.emit(
                         cycle,
@@ -214,32 +225,31 @@ class SAUnit:
         """
         return arb_port not in self.router.faults.sa2
 
-    # ------------------------------------------------------------------------
-    def _vc_ready(self, vc: VirtualChannel) -> Optional[PathPlan]:
-        """Path plan if ``vc`` can bid for the switch this cycle, else None.
-
-        Ready means: ACTIVE, has a buffered flit, downstream credit
-        available, and the crossbar can reach the route.
-        """
-        if vc.state != VCState.ACTIVE or not vc.buffer:
-            return None
-        r = vc.route
-        out = self.router.out_ports[r]
-        if out.credits[vc.out_vc] <= 0:
-            return None
-        return self.router.crossbar.plan_path(r)
-
     def allocate(self, cycle: int) -> list[SAGrant]:
         """Run both SA stages; returns winners that cross the XB next cycle."""
         router = self.router
+        out_ports = router.out_ports
+        plan_path = router.crossbar.plan_path
+        active = VCState.ACTIVE
 
         # ---- stage 1: one candidate VC per input port ----
+        # A VC may bid for the switch when it is ACTIVE, holds a buffered
+        # flit, has downstream credit, and the crossbar can reach its route
+        # (the readiness predicate, inlined: it runs for every port*VC slot
+        # of every busy router every cycle).
         stage1_winners: list[tuple[int, VirtualChannel, PathPlan]] = []
         for p, in_port in enumerate(router.in_ports):
+            if in_port.nonidle == 0:
+                continue
             plans: dict[int, PathPlan] = {}
             candidates = []
             for s, vc in enumerate(in_port.slots):
-                plan = self._vc_ready(vc)
+                if vc.state is not active or not vc.buffer:
+                    continue
+                r = vc.route
+                if out_ports[r].credits[vc.out_vc] <= 0:
+                    continue
+                plan = plan_path(r)
                 if plan is not None:
                     candidates.append(s)
                     plans[s] = plan
@@ -257,6 +267,7 @@ class SAUnit:
 
         grants: list[SAGrant] = []
         tracer = router.tracer
+        stats = router.stats
         for arb_port, reqs in by_arb.items():
             if not self._stage2_arbiter_ok(arb_port):
                 continue
@@ -266,10 +277,10 @@ class SAUnit:
             for p, vc, plan in reqs:
                 if p != winner_port:
                     continue
-                router.out_ports[plan.dest].credits[vc.out_vc] -= 1
-                router.stats.sa_grants += 1
+                out_ports[plan.dest].credits[vc.out_vc] -= 1
+                stats.sa_grants += 1
                 if plan.secondary:
-                    router.stats.secondary_path_grants += 1
+                    stats.secondary_path_grants += 1
                 if tracer is not None:
                     tracer.emit(
                         cycle,

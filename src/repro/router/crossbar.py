@@ -26,6 +26,10 @@ from typing import Optional
 
 from ..faults.sites import RouterFaultState
 
+#: cache sentinel — ``None`` is a valid plan result ("unreachable"), so an
+#: unset cache entry needs a distinct marker
+_UNCACHED: object = object()
+
 
 @dataclass(frozen=True)
 class PathPlan:
@@ -56,31 +60,33 @@ class PathPlan:
 class Crossbar:
     """Baseline crossbar: one ``pi:1`` mux per output port, single path.
 
-    ``plan_path`` results are cached; the cache is invalidated whenever the
-    fault state changes (``notify_fault_change``), since plans depend only
-    on the static fault sets.
+    ``plan_path`` results are memoised per output port in a flat list
+    (plans depend only on the static fault sets, so between fault events
+    the lookup is a single list index); the cache is invalidated whenever
+    the fault state changes (``notify_fault_change``).
     """
 
     def __init__(self, num_ports: int, faults: RouterFaultState) -> None:
         self.num_ports = num_ports
         self.faults = faults
-        self._plan_cache: dict[int, Optional[PathPlan]] = {}
+        self._plan_cache: list[object] = [_UNCACHED] * num_ports
         #: cold-path diagnostic: plans actually computed (cache misses);
         #: harvested by the observability metrics registry after a run
         self.plans_computed = 0
 
     def notify_fault_change(self) -> None:
         """Invalidate cached plans after a fault injection or heal."""
-        self._plan_cache.clear()
+        self._plan_cache = [_UNCACHED] * self.num_ports
 
     def plan_path(self, dest: int) -> Optional[PathPlan]:
         """Plan for reaching ``dest``, or ``None`` if unreachable."""
-        try:
-            return self._plan_cache[dest]
-        except KeyError:
+        if not 0 <= dest < self.num_ports:
+            raise ValueError(f"output port {dest} out of range")
+        plan = self._plan_cache[dest]
+        if plan is _UNCACHED:
             plan = self._compute_plan(dest)
             self._plan_cache[dest] = plan
-            return plan
+        return plan  # type: ignore[return-value]
 
     def _compute_plan(self, dest: int) -> Optional[PathPlan]:
         if not (0 <= dest < self.num_ports):

@@ -56,6 +56,8 @@ class Flit:
 
     __slots__ = (
         "ftype",
+        "is_head",
+        "is_tail",
         "packet_id",
         "src",
         "dest",
@@ -82,6 +84,11 @@ class Flit:
         creation_cycle: int = 0,
     ) -> None:
         self.ftype = ftype
+        #: head/tail role, precomputed — the pipeline tests these on every
+        #: buffer write and switch traversal, and ``ftype`` never changes
+        #: after construction
+        self.is_head: bool = ftype is FlitType.HEAD or ftype is FlitType.HEAD_TAIL
+        self.is_tail: bool = ftype is FlitType.TAIL or ftype is FlitType.HEAD_TAIL
         self.packet_id = packet_id
         self.src = src
         self.dest = dest
@@ -96,14 +103,6 @@ class Flit:
         self.ejection_cycle: int = -1
         #: number of routers traversed so far
         self.hops: int = 0
-
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
 
     @property
     def network_latency(self) -> int:

@@ -27,7 +27,7 @@ from .vc import VCState, VirtualChannel
 class InputPort:
     """VC array of one input port with wire→physical indirection."""
 
-    __slots__ = ("port", "num_vcs", "slots", "_wire_to_phys", "swaps")
+    __slots__ = ("port", "num_vcs", "slots", "nonidle", "_wire_to_phys", "swaps")
 
     def __init__(self, port: int, num_vcs: int, buffer_depth: int) -> None:
         self.port = port
@@ -36,6 +36,11 @@ class InputPort:
         self.slots: List[VirtualChannel] = [
             VirtualChannel(port, v, buffer_depth) for v in range(num_vcs)
         ]
+        #: count of non-IDLE VCs in this port, maintained by the router
+        #: (``receive_flit`` / ``xb_phase``); allocator and RC scans skip
+        #: ports with no work.  Slot swaps (FT VC transfers) exchange VCs
+        #: within the port, so they never change this count.
+        self.nonidle = 0
         self._wire_to_phys: List[int] = list(range(num_vcs))
         #: cold-path diagnostic: slot swaps performed (FT VC transfers);
         #: harvested by the observability metrics registry after a run
@@ -93,7 +98,12 @@ class InputPort:
         return all(vc.state == VCState.IDLE and vc.is_empty for vc in self.slots)
 
     def check_invariants(self) -> None:
-        """Assert the indirection is a permutation (test helper)."""
+        """Assert the indirection is a permutation (test helper).
+
+        (The ``nonidle`` counter is router-maintained, so its consistency
+        is asserted by ``BaseRouter.check_invariants`` — standalone ports
+        fed directly in unit tests legitimately leave it at zero.)
+        """
         assert sorted(self._wire_to_phys) == list(range(self.num_vcs))
         for wire, phys in enumerate(self._wire_to_phys):
             assert self.slots[phys].index == wire, (

@@ -15,8 +15,8 @@ and differ only in the units and the fault-handling hooks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..config import RouterConfig
 from ..faults.sites import RouterFaultState
@@ -25,10 +25,11 @@ from .crossbar import Crossbar
 from .flit import Flit
 from .input_port import InputPort
 from .routing import RoutingFunction
-from .vc import VCState, VirtualChannel
+from .vc import VCState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..network.simulator import EventScheduler
+    from ..observability import EventTracer
 
 
 class OutputPort:
@@ -86,16 +87,23 @@ class RCUnit:
     def select_route(self, flit: Flit) -> int:
         """The routing decision proper (fault gating handled by callers)."""
         router = self.router
+        row = router.route_row
+        if row is not None:
+            # non-adaptive routing: the simulator installed this node's
+            # row of the precomputed route table
+            return row[flit.dest]
         routing = router.routing
         if not routing.adaptive:
             return routing.output_port(router.node, flit.dest)
         cands = routing.candidate_ports(router.node, flit.dest)
+        crossbar = router.crossbar
+        out_ports = router.out_ports
         best, best_key = None, None
         for c in cands:
-            plan = router.crossbar.plan_path(c)
+            plan = crossbar.plan_path(c)
             if plan is None:
                 continue
-            credits = sum(router.out_ports[c].credits)
+            credits = sum(out_ports[c].credits)
             key = (not plan.secondary, credits)
             if best_key is None or key > best_key:
                 best, best_key = c, key
@@ -164,9 +172,17 @@ class BaseRouter:
         self._xb_queue: list[SAGrant] = []
         #: count of non-idle VCs, used by the simulator to skip idle routers
         self._nonidle = 0
+        #: idle→busy transition callback; the simulator installs its
+        #: active-router-set ``add`` so a router re-enters the schedule the
+        #: moment a flit arrives.  ``None`` for standalone routers (tests).
+        self.on_wake: Optional[Callable[[int], None]] = None
+        #: this node's row of the shared route table
+        #: (``route_row[dest] -> out_port``), installed by the simulator
+        #: for non-adaptive routing functions; ``None`` -> compute per flit
+        self.route_row: Optional[Sequence[int]] = None
         #: flit-lifecycle tracer (:mod:`repro.observability`); ``None`` —
         #: the default — makes every emission site a single attribute check
-        self.tracer = None
+        self.tracer: Optional["EventTracer"] = None
 
     # -- unit factories (overridden by the protected router) ---------------
     def _make_crossbar(self) -> Crossbar:
@@ -228,10 +244,16 @@ class BaseRouter:
     # ----------------------------------------------------------------------
     def xb_phase(self, sched: "EventScheduler", cycle: int) -> None:
         """Crossbar traversal: commit last cycle's SA grants."""
-        if not self._xb_queue:
+        queue = self._xb_queue
+        if not queue:
             return
         tracer = self.tracer
-        for grant in self._xb_queue:
+        stats = self.stats
+        node = self.node
+        out_ports = self.out_ports
+        in_ports = self.in_ports
+        idle = VCState.IDLE
+        for grant in queue:
             vc = grant.vc
             plan = grant.plan
             # The flit and bookkeeping captured at SA time are still valid:
@@ -241,12 +263,12 @@ class BaseRouter:
             dest = plan.dest
             flit = vc.dequeue()
             flit.hops += 1
-            self.stats.flits_traversed += 1
+            stats.flits_traversed += 1
             if tracer is not None:
                 tracer.emit(
                     cycle,
                     "xb",
-                    self.node,
+                    node,
                     in_port=grant.in_port,
                     out_port=dest,
                     out_vc=out_vc,
@@ -254,15 +276,16 @@ class BaseRouter:
                     flit=flit.flit_index,
                     secondary=plan.secondary,
                 )
-            if vc.state == VCState.IDLE:
+            if vc.state is idle:
                 self._nonidle -= 1
+                in_ports[grant.in_port].nonidle -= 1
             if flit.is_tail:
                 # reallocation-on-tail: free the downstream VC for new VA
-                self.out_ports[dest].allocated[out_vc] = None
-            sched.deliver_flit(self.node, dest, out_vc, flit)
+                out_ports[dest].allocated[out_vc] = None
+            sched.deliver_flit(node, dest, out_vc, flit)
             # the freed input buffer slot becomes a credit upstream
-            sched.return_credit(self.node, grant.in_port, vc.index)
-        self._xb_queue.clear()
+            sched.return_credit(node, grant.in_port, vc.index)
+        queue.clear()
 
     def sa_phase(self, cycle: int) -> None:
         """Switch allocation; winners traverse the crossbar next cycle."""
@@ -281,19 +304,25 @@ class BaseRouter:
         if self._nonidle == 0:
             return
         crossbar = self.crossbar
+        rc_compute = self.rc_unit.compute
+        stats = self.stats
+        tracer = self.tracer
+        routing_state = VCState.ROUTING
         for in_port in self.in_ports:
+            if in_port.nonidle == 0:
+                continue
             for vc in in_port.slots:
-                if vc.state != VCState.ROUTING:
+                if vc.state is not routing_state:
                     continue
-                out = self.rc_unit.compute(in_port.port, vc.front())
+                out = rc_compute(in_port.port, vc.front())
                 if out is None:
-                    self.stats.rc_blocked_cycles += 1
+                    stats.rc_blocked_cycles += 1
                     continue
                 plan = crossbar.plan_path(out)
                 if plan is None:
                     # output unreachable through any path: the packet is
                     # stuck; the watchdog / failure predicate reports it.
-                    self.stats.unreachable_output_cycles += 1
+                    stats.unreachable_output_cycles += 1
                     continue
                 vc.route = out
                 # Section V-D: RC updates the SP/FSP fields when the
@@ -301,7 +330,6 @@ class BaseRouter:
                 vc.sp = plan.arb_port if plan.secondary else None
                 vc.fsp = plan.secondary
                 vc.state = VCState.WAITING_VA
-                tracer = self.tracer
                 if tracer is not None:
                     tracer.emit(
                         cycle,
@@ -317,12 +345,16 @@ class BaseRouter:
     # ----------------------------------------------------------------------
     def receive_flit(self, port: int, wire_vc: int, flit: Flit, cycle: int) -> None:
         """Buffer write: a flit arrives from the upstream link (or NIC)."""
-        vc = self.in_ports[port].by_wire(wire_vc)
+        in_port = self.in_ports[port]
+        vc = in_port.slots[in_port._wire_to_phys[wire_vc]]
         was_idle = vc.state == VCState.IDLE
         vc.enqueue(flit)
         self.stats.buffer_writes += 1
         if was_idle:
+            in_port.nonidle += 1
             self._nonidle += 1
+            if self._nonidle == 1 and self.on_wake is not None:
+                self.on_wake(self.node)
 
     def receive_credit(self, out_port: int, wire_vc: int) -> None:
         """A downstream buffer slot was freed."""
@@ -349,12 +381,14 @@ class BaseRouter:
         cfg = self.config
         for in_port in self.in_ports:
             in_port.check_invariants()
-        nonidle = sum(
-            1
-            for ip in self.in_ports
-            for vc in ip.slots
-            if vc.state != VCState.IDLE
-        )
+        nonidle = 0
+        for ip in self.in_ports:
+            port_nonidle = sum(1 for vc in ip.slots if vc.state != VCState.IDLE)
+            assert port_nonidle == ip.nonidle, (
+                f"router {self.node} port {ip.port}: nonidle count "
+                f"{ip.nonidle} != actual {port_nonidle}"
+            )
+            nonidle += port_nonidle
         assert nonidle == self._nonidle, (
             f"router {self.node}: busy count {self._nonidle} != actual {nonidle}"
         )

@@ -13,6 +13,8 @@ before turning into Y, which breaks all cyclic channel dependencies.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import (
     NetworkConfig,
     PORT_EAST,
@@ -37,9 +39,35 @@ class RoutingFunction:
 
     def __init__(self, network: NetworkConfig) -> None:
         self.network = network
+        self._route_table: Optional[list[list[int]]] = None
 
     def output_port(self, node: int, dest: int) -> int:
         raise NotImplementedError
+
+    def route_table(self) -> list[list[int]]:
+        """Dense ``table[node][dest] -> output port`` lookup (non-adaptive).
+
+        Built lazily, once per routing instance, and shared by every
+        router of a simulator: the RC unit replaces the per-head-flit
+        coordinate arithmetic with one list index.  Adaptive functions
+        have no static table — their choice depends on run-time credit
+        and fault state — so they raise.
+        """
+        if self.adaptive:
+            raise ValueError(
+                f"{type(self).__name__} is adaptive: routes depend on "
+                "run-time state, no static route table exists"
+            )
+        table = self._route_table
+        if table is None:
+            n = self.network.num_nodes
+            output_port = self.output_port
+            table = [
+                [output_port(node, dest) for dest in range(n)]
+                for node in range(n)
+            ]
+            self._route_table = table
+        return table
 
     def candidate_ports(self, node: int, dest: int) -> list[int]:
         """Permitted output ports, most-preferred first (default: the one
@@ -49,7 +77,6 @@ class RoutingFunction:
     def hop_count(self, src: int, dest: int) -> int:
         """Number of router-to-router hops on the computed path."""
         hops = 0
-        node = tuple(self.network.coords(src))
         # Walk the route; bounded by network diameter so this terminates.
         cur = src
         limit = self.network.num_nodes + 2
@@ -61,7 +88,6 @@ class RoutingFunction:
             hops += 1
             if hops > limit:  # pragma: no cover - defensive
                 raise RuntimeError("routing function does not converge")
-        del node
         return hops
 
 

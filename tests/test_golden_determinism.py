@@ -1,0 +1,132 @@
+"""Golden determinism: optimized active-set stepper vs the reference scan.
+
+The performance rework (active-set scheduling, calendar event queue,
+route-table and path-plan caching) is required to be *bit-identical* to
+the seed implementation — not statistically close, identical.  The seed's
+full-scan cycle loop is kept as ``NoCSimulator._step_reference``; these
+tests run the same configurations through both steppers and assert every
+observable output matches exactly:
+
+* cycle count, blocked/drained flags, faults injected,
+* the full :class:`NetworkStats` summary (latency averages, percentiles,
+  histogram, per-vnet breakdown),
+* the aggregated per-router :class:`RouterStats` counters,
+* the complete observability export — metrics registry snapshot and the
+  byte-for-byte trace event stream.
+
+If a change legitimately alters pipeline behaviour, it must update both
+steppers in lockstep (and re-derive the goldens in test_determinism.py).
+"""
+
+import dataclasses
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.faults.injector import RandomFaultInjector
+from repro.network.simulator import NoCSimulator, baseline_router_factory
+from repro.observability import Observability, ObservabilityConfig
+from repro.router.flit import reset_packet_ids
+from repro.traffic.generator import COHERENCE_MIX, SyntheticTraffic
+
+
+def _run_once(protected: bool, with_faults: bool, reference: bool):
+    reset_packet_ids()
+    net = NetworkConfig(
+        width=8, height=8, router=RouterConfig(num_vcs=4, num_vnets=2)
+    )
+    fault_schedule = None
+    if with_faults:
+        fault_schedule = RandomFaultInjector(
+            net.router,
+            net.num_nodes,
+            mean_interval=40,
+            num_faults=12,
+            rng=11,
+            first_fault_at=50,
+            avoid_failure=True,
+        )
+    obs = Observability(ObservabilityConfig(trace=True, metrics=True))
+    sim = NoCSimulator(
+        net,
+        SimulationConfig(
+            warmup_cycles=50,
+            measure_cycles=400,
+            drain_cycles=2000,
+            seed=9,
+            watchdog_cycles=4000,
+        ),
+        SyntheticTraffic(net, injection_rate=0.08, mix=COHERENCE_MIX, rng=9),
+        router_factory=(
+            protected_router_factory(net)
+            if protected
+            else baseline_router_factory(net)
+        ),
+        fault_schedule=fault_schedule,
+        observability=obs,
+        use_reference_stepper=reference,
+    )
+    result = sim.run()
+    return sim, result
+
+
+def _assert_bit_identical(protected: bool, with_faults: bool) -> None:
+    sim_fast, fast = _run_once(protected, with_faults, reference=False)
+    sim_ref, ref = _run_once(protected, with_faults, reference=True)
+
+    assert fast.cycles == ref.cycles
+    assert fast.blocked == ref.blocked
+    assert fast.drained == ref.drained
+    assert fast.faults_injected == ref.faults_injected
+
+    assert fast.stats.summary() == ref.stats.summary()
+    assert dataclasses.asdict(fast.router_stats) == dataclasses.asdict(
+        ref.router_stats
+    )
+
+    # exports are plain dicts: metrics snapshot and the ordered trace
+    # event stream must match entry for entry
+    assert fast.observability == ref.observability
+
+    # both steppers must leave the fabric (and the active sets) consistent
+    sim_fast.check_invariants()
+    sim_ref.check_invariants()
+
+
+class TestGoldenDeterminism:
+    def test_8x8_baseline_bit_identical(self):
+        _assert_bit_identical(protected=False, with_faults=False)
+
+    def test_8x8_protected_with_faults_bit_identical(self):
+        _assert_bit_identical(protected=True, with_faults=True)
+
+    def test_adaptive_routing_bit_identical(self):
+        """West-first adaptive routing has no route table — the per-flit
+        candidate selection (credit sums + plan lookups) must still be
+        identical between the steppers."""
+        reset_packet_ids()
+        net = NetworkConfig(width=4, height=4)
+
+        def run(reference: bool):
+            reset_packet_ids()
+            sim = NoCSimulator(
+                net,
+                SimulationConfig(
+                    warmup_cycles=50,
+                    measure_cycles=500,
+                    drain_cycles=2000,
+                    seed=4,
+                    watchdog_cycles=4000,
+                ),
+                SyntheticTraffic(net, injection_rate=0.08, rng=4),
+                router_factory=baseline_router_factory(net),
+                routing_kind="west_first",
+                use_reference_stepper=reference,
+            )
+            return sim.run()
+
+        fast, ref = run(False), run(True)
+        assert fast.cycles == ref.cycles
+        assert fast.stats.summary() == ref.stats.summary()
+        assert dataclasses.asdict(fast.router_stats) == dataclasses.asdict(
+            ref.router_stats
+        )
