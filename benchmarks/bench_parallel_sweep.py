@@ -10,7 +10,8 @@ there is nothing to parallelise onto — but the determinism check still
 runs, so the engine's correctness is always exercised.
 
 Also times the Table III Monte-Carlo campaign (trial sharding rather
-than point sharding) both ways.
+than point sharding) both ways, and the warm-network pool against cold
+per-point construction on a Figure 7-style repeated-run shape.
 """
 
 import os
@@ -19,8 +20,12 @@ import time
 import numpy as np
 import pytest
 
+from repro.experiments.latency import LatencyConfig, run_app
 from repro.experiments.load_latency import sweep_sharded
+from repro.network import warm
 from repro.reliability.spf import monte_carlo_faults_to_failure
+from repro.router.flit import reset_packet_ids
+from repro.traffic.apps import app_profile
 
 RATES = (0.04, 0.08, 0.12, 0.16)
 MEASURE = 1200
@@ -71,6 +76,66 @@ def test_load_latency_parallel_speedup(benchmark):
             f"single usable core: measured {speedup:.2f}x, "
             "speedup assertion needs >= 2 cores"
         )
+
+
+def test_warm_pool_amortizes_construction(benchmark):
+    """Figure 7-style shape: many short runs of one structural 8x8
+    configuration.  The warm pool must produce bit-identical results and
+    never be slower than cold per-run construction (the construction
+    share it amortizes is reported)."""
+    cfg = LatencyConfig(
+        warmup_cycles=100,
+        measure_cycles=300,
+        drain_cycles=3000,
+        num_faults=32,
+    )
+    profile = app_profile("fft")
+    points = (False, True, False, True, False, True)
+
+    def run_points():
+        out = []
+        for faulty in points:
+            reset_packet_ids()
+            out.append(run_app(profile, cfg, faulty))
+        return out
+
+    def cold_points():
+        out = []
+        for faulty in points:
+            reset_packet_ids()
+            warm.clear_pool()  # force construction for every point
+            out.append(run_app(profile, cfg, faulty))
+        return out
+
+    cold, cold_s = _timed(cold_points)
+
+    warm.clear_pool()
+    warm.drain_setup_seconds()
+    run_points()  # prime the pool, then measure steady-state reuse
+    warm.drain_setup_seconds()
+    box = {}
+
+    def warm_run():
+        out, box["s"] = _timed(run_points)
+        return out
+
+    warmed = benchmark.pedantic(
+        warm_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    warm_s = box["s"]
+    setup_s = warm.drain_setup_seconds()
+
+    for a, b in zip(cold, warmed):
+        assert a.stats.summary() == b.stats.summary()
+
+    ratio = cold_s / warm_s
+    print(
+        f"\nfig7-style x{len(points)} points: cold {cold_s:.2f}s, "
+        f"warm {warm_s:.2f}s (setup {setup_s:.3f}s) -> {ratio:.2f}x"
+    )
+    assert ratio >= 0.9, (
+        f"warm pool slower than cold construction: {ratio:.2f}x"
+    )
 
 
 def test_spf_monte_carlo_parallel_speedup(benchmark):

@@ -67,4 +67,6 @@ def protected_router_factory(config: NetworkConfig):
     def make(node: int, routing: RoutingFunction) -> ProtectedRouter:
         return ProtectedRouter(node, config.router, routing)
 
+    # marker consumed by the warm-network pool (repro.network.warm)
+    make.router_kind = "protected"  # type: ignore[attr-defined]
     return make

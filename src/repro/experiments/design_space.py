@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
-from ..network.simulator import NoCSimulator
+from ..network import warm
 from ..reliability.spf import analyze_spf
 from ..reliability.stages import RouterGeometry
 from ..synthesis.area import area_overhead
@@ -34,7 +34,9 @@ def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
         width=4, height=4,
         router=RouterConfig(num_vcs=num_vcs, buffer_depth=buffer_depth),
     )
-    sim = NoCSimulator(
+    # warm pool: each (VC count, buffer depth) keys its own fabric; the
+    # pool reuses it for every point of the grid that shares the shape
+    sim = warm.acquire(
         net,
         SimulationConfig(warmup_cycles=400, measure_cycles=measure,
                          drain_cycles=4000, seed=seed),

@@ -20,7 +20,8 @@ from typing import Optional, Sequence
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
 from ..faults.injector import RandomFaultInjector
-from ..network.simulator import NoCSimulator, SimulationResult
+from ..network import warm
+from ..network.simulator import SimulationResult
 from ..traffic.apps import AppProfile, make_app_traffic, suite_profiles
 from .report import ExperimentResult
 
@@ -113,7 +114,9 @@ def run_app(
             first_fault_at=0,
             avoid_failure=True,
         )
-    sim = NoCSimulator(
+    # warm pool: fig7/fig8 runs every (app, fault-state) pair on the same
+    # 8x8 structural config, so workers reuse one fabric per process
+    sim = warm.acquire(
         net,
         cfg.simulation(),
         traffic,

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
 from ..faults.injector import RandomFaultInjector
-from ..network.simulator import NoCSimulator
+from ..network import warm
 from ..traffic.generator import SyntheticTraffic
 from .report import ExperimentResult
 
@@ -47,7 +47,9 @@ def _run(net: NetworkConfig, rate: float, seed: int, faults: int,
             net.router, net.num_nodes, mean_interval=5.0, num_faults=faults,
             rng=seed + 101, first_fault_at=0, avoid_failure=True,
         )
-    sim = NoCSimulator(
+    # warm pool: reuse one fabric per NetworkConfig across sweep points
+    # (bit-identical to a fresh build — pinned by the golden tests)
+    sim = warm.acquire(
         net,
         SimulationConfig(
             warmup_cycles=500,

@@ -41,6 +41,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..network import warm
 from ..observability import merge_exports
 
 
@@ -113,17 +114,30 @@ class SweepError(RuntimeError):
 
 @dataclass(frozen=True)
 class ShardReport:
-    """Progress/timing of one worker shard."""
+    """Progress/timing of one worker shard.
+
+    ``wall_time`` splits into ``setup_s`` — network construction and
+    warm resets, harvested from :mod:`repro.network.warm` — and
+    ``run_s``, everything else (dominated by the cycle loops).  The
+    split is what makes the reset-reuse win visible per sweep: with the
+    warm pool active, ``setup_s`` should be a small fraction of
+    ``run_s`` after the shard's first point.
+    """
 
     shard: int
     points: int
     wall_time: float
     cycles: int
+    #: seconds spent building / resetting simulators inside this shard
+    setup_s: float = 0.0
+    #: seconds spent on everything else (cycle loops, reductions)
+    run_s: float = 0.0
 
     def format(self) -> str:
         return (
             f"shard {self.shard}: {self.points} points, "
-            f"{self.cycles:,} cycles, {self.wall_time:.2f}s"
+            f"{self.cycles:,} cycles, {self.wall_time:.2f}s "
+            f"(setup {self.setup_s:.2f}s, run {self.run_s:.2f}s)"
         )
 
 
@@ -151,11 +165,22 @@ class SweepReport:
         """Summed in-worker wall time (serial-equivalent work)."""
         return sum(s.wall_time for s in self.shards)
 
+    @property
+    def setup_time(self) -> float:
+        """Summed network construction / warm-reset time across shards."""
+        return sum(s.setup_s for s in self.shards)
+
+    @property
+    def run_time(self) -> float:
+        """Summed non-setup worker time across shards."""
+        return sum(s.run_s for s in self.shards)
+
     def format(self) -> str:
         lines = [
             f"sweep: {self.points} points on {self.jobs} worker(s) "
             f"in {self.wall_time:.2f}s "
-            f"(worker time {self.worker_time:.2f}s, "
+            f"(worker time {self.worker_time:.2f}s = "
+            f"setup {self.setup_time:.2f}s + run {self.run_time:.2f}s, "
             f"{self.cycles:,} cycles simulated)"
         ]
         if self.jobs > 1:
@@ -240,13 +265,18 @@ def _run_shard(
 ) -> tuple[list[tuple[int, Any, int]], ShardReport]:
     """Worker entry point: run one shard's tasks serially, in order."""
     shard_id, tasks = payload
+    warm.drain_setup_seconds()  # discard time accrued before this shard
     t0 = time.perf_counter()
     rows = [_execute(t) for t in tasks]
+    wall = time.perf_counter() - t0
+    setup = warm.drain_setup_seconds()
     report = ShardReport(
         shard=shard_id,
         points=len(rows),
-        wall_time=time.perf_counter() - t0,
+        wall_time=wall,
         cycles=sum(c for _, _, c in rows),
+        setup_s=setup,
+        run_s=max(0.0, wall - setup),
     )
     return rows, report
 

@@ -68,6 +68,9 @@ def baseline_router_factory(config: NetworkConfig) -> RouterFactory:
     def make(node: int, routing: RoutingFunction) -> BaseRouter:
         return BaselineRouter(node, config.router, routing)
 
+    # marker consumed by the warm-network pool (repro.network.warm): two
+    # factories with the same router_kind build interchangeable fabrics
+    make.router_kind = "baseline"  # type: ignore[attr-defined]
     return make
 
 
@@ -322,6 +325,62 @@ class NoCSimulator:
             table = self.routing.route_table()
             for r in self.routers:
                 r.route_row = table[r.node]
+
+    # ------------------------------------------------------------------
+    # warm reset (run amortization)
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        sim_config: SimulationConfig,
+        traffic: TrafficSource,
+        fault_schedule: Optional[FaultSchedule] = None,
+        on_eject: Optional[Callable] = None,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        """Restore pristine state for a new run without rebuilding the fabric.
+
+        After ``reset`` a subsequent :meth:`run` is bit-identical to
+        constructing a fresh ``NoCSimulator`` with the same arguments (the
+        golden determinism tests pin this).  Static structure — topology,
+        routing, route tables, ``connected`` flags, the ``on_wake``
+        wiring — is reused; everything dynamic (VC buffers, credits,
+        arbiter priorities, fault state, calendar ring, stats, caches,
+        active sets) returns to power-on values.
+
+        A *fresh* :class:`NetworkStats` is installed (and rebound into
+        every NIC) so :class:`SimulationResult` objects returned by earlier
+        runs stay valid.  Fault schedules and traffic sources are stateful
+        single-use objects, so new ones must be supplied per run.
+        """
+        self.sim_config = sim_config
+        self.traffic = traffic
+        self.fault_schedule = fault_schedule
+        self.on_eject = on_eject
+        for r in self.routers:
+            r.reset()
+        self.stats = NetworkStats(keep_samples=self.stats.keep_samples)
+        for nic in self.nics:
+            nic.reset(self.stats)
+        # the ring only holds a handful of lists — rebuilding it is cheap
+        # and guarantees a pristine queue (no stale in-flight counter)
+        self.scheduler = EventScheduler(self)
+        self.obs = (
+            observability if observability is not None else maybe_create()
+        )
+        tracer = self.obs.tracer if self.obs is not None else None
+        for r in self.routers:
+            r.tracer = tracer
+        for nic in self.nics:
+            nic.tracer = tracer
+        self.scheduler.tracer = tracer
+        self.flits_in_network = 0
+        self.faults_injected = 0
+        self.cycle = 0
+        self._last_progress = 0
+        self.blocked = False
+        # in place: the on_wake hooks hold these sets' bound ``add``
+        self._active_routers.clear()
+        self._active_nics.clear()
 
     # ------------------------------------------------------------------
     def _inject_faults(self, cycle: int) -> None:

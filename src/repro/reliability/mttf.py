@@ -115,6 +115,30 @@ def monte_carlo_mttf(
     return float(np.maximum(t1, t2).mean())
 
 
+def monte_carlo_mttf_reference(
+    fit1: float,
+    fit2: float,
+    samples: int = 200_000,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Scalar oracle for :func:`monte_carlo_mttf`: one draw per call.
+
+    ``Generator.exponential`` fills batched requests element by element
+    from the same bitstream, so the scalar loop consumes the identical
+    stream and the two paths return bit-equal means (pinned by
+    ``tests/test_reliability.py``); the batched version only amortises
+    the per-call overhead away.
+    """
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(rng)
+    s1 = HOURS_PER_BILLION / fit1
+    s2 = HOURS_PER_BILLION / fit2
+    t1 = np.array([rng.exponential(s1) for _ in range(samples)])
+    t2 = np.array([rng.exponential(s2) for _ in range(samples)])
+    return float(np.maximum(t1, t2).mean())
+
+
 def reliability_curve(
     fit: float, hours: np.ndarray
 ) -> np.ndarray:

@@ -68,15 +68,19 @@ def functional_failure(
     router: ProtectedRouter,
     net: NetworkConfig,
     max_cycles: int = 60,
+    flows: Optional[list[tuple[int, int]]] = None,
 ) -> bool:
     """Drive one probe packet through every (input, destination) flow.
 
     Returns True when some flow cannot deliver — the experimental
     counterpart of the Section VIII failure predicates.  The router's
     dynamic state is reset between probes so each flow is tested in
-    isolation (fault state is preserved).
+    isolation (fault state is preserved).  ``flows`` lets campaign loops
+    pass the :func:`_probe_flows` list once instead of rebuilding the
+    routing function per call.
     """
-    flows = _probe_flows(net)
+    if flows is None:
+        flows = _probe_flows(net)
     for in_port, dest in flows:
         if not _flow_delivers(router, in_port, dest, max_cycles):
             return True
@@ -129,29 +133,17 @@ class SimulatedSPF:
     samples: np.ndarray
 
 
-def simulated_faults_to_failure(
-    config: RouterConfig | None = None,
-    trials: int = 30,
-    rng: np.random.Generator | int | None = None,
-    include_va2: bool = False,
-    max_cycles: int = 60,
-) -> SimulatedSPF:
-    """Monte-Carlo: inject random faults into a live router until a probe
-    flow stops delivering.
-
-    Much slower than the predicate-based MC (every step runs real probe
-    traffic), so trial counts are modest; it exists to validate, not to
-    replace, the analytical accounting.
-    """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    config = config or RouterConfig()
-    net = NetworkConfig(width=3, height=3, router=config)
-    rng = np.random.default_rng(rng)
-    sites = list(
-        enumerate_sites(config, router=_PROBE_NODE, protected=True,
-                        include_va2=include_va2)
-    )
+def _trial_counts_reference(
+    config: RouterConfig,
+    net: NetworkConfig,
+    sites: list[FaultSite],
+    trials: int,
+    rng: np.random.Generator,
+    max_cycles: int,
+) -> np.ndarray:
+    """Scalar oracle: fresh router per trial, one full probe sweep after
+    *every* injection.  Kept as the reference :func:`_trial_counts` is
+    pinned against (``tests/test_spf_simulation.py``)."""
     counts = np.empty(trials, dtype=np.int64)
     for t in range(trials):
         reset_packet_ids()
@@ -164,6 +156,100 @@ def simulated_faults_to_failure(
             if functional_failure(router, net, max_cycles=max_cycles):
                 break
         counts[t] = n
+    return counts
+
+
+def _trial_counts(
+    config: RouterConfig,
+    net: NetworkConfig,
+    sites: list[FaultSite],
+    trials: int,
+    rng: np.random.Generator,
+    max_cycles: int,
+) -> np.ndarray:
+    """Fast campaign loop, bit-identical to :func:`_trial_counts_reference`.
+
+    Three amortisations:
+
+    * the routing function, probe-flow list and the router object are
+      built once — trials restore pristine state through the router's
+      ``reset()`` fast path (the warm-network reset, pinned equivalent
+      to fresh construction by the golden tests);
+    * each trial draws the same single ``rng.permutation`` as the
+      reference, so the consumed random stream is unchanged;
+    * the failure count is found by bisection over the fault-prefix
+      length instead of probing after every injection.  Faults only
+      remove capability (they set fault flags that disable resources and
+      never clear others), so "prefix of length m fails" is monotone in
+      ``m`` and the first failing prefix is the smallest failing one —
+      O(log n) probe sweeps replace O(n).
+    """
+    routing = XYRouting(net)
+    flows = _probe_flows(net)
+    router = ProtectedRouter(_PROBE_NODE, config, routing)
+    n_sites = len(sites)
+    counts = np.empty(trials, dtype=np.int64)
+
+    def fails(order: np.ndarray, m: int, injected: int) -> tuple[bool, int]:
+        """Probe the prefix ``order[:m]``; router holds ``injected`` faults."""
+        if m < injected:
+            router.reset()
+            injected = 0
+        for i in order[injected:m]:
+            router.inject_fault(sites[int(i)])
+        failed = functional_failure(
+            router, net, max_cycles=max_cycles, flows=flows
+        )
+        return failed, m
+
+    for t in range(trials):
+        reset_packet_ids()
+        router.reset()
+        order = rng.permutation(n_sites)
+        failed, injected = fails(order, n_sites, 0)
+        if not failed:
+            counts[t] = n_sites  # reference's exhausted-sites fallback
+            continue
+        lo, hi = 0, n_sites  # healthy router passes; full set fails
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            failed, injected = fails(order, mid, injected)
+            if failed:
+                hi = mid
+            else:
+                lo = mid
+        counts[t] = hi
+    return counts
+
+
+def simulated_faults_to_failure(
+    config: RouterConfig | None = None,
+    trials: int = 30,
+    rng: np.random.Generator | int | None = None,
+    include_va2: bool = False,
+    max_cycles: int = 60,
+    reference: bool = False,
+) -> SimulatedSPF:
+    """Monte-Carlo: inject random faults into a live router until a probe
+    flow stops delivering.
+
+    Much slower than the predicate-based MC (every step runs real probe
+    traffic), so trial counts are modest; it exists to validate, not to
+    replace, the analytical accounting.  ``reference=True`` selects the
+    scalar oracle loop (same results, used by the golden-equality tests
+    and the reliability benchmark).
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    config = config or RouterConfig()
+    net = NetworkConfig(width=3, height=3, router=config)
+    rng = np.random.default_rng(rng)
+    sites = list(
+        enumerate_sites(config, router=_PROBE_NODE, protected=True,
+                        include_va2=include_va2)
+    )
+    runner = _trial_counts_reference if reference else _trial_counts
+    counts = runner(config, net, sites, trials, rng, max_cycles)
     return SimulatedSPF(
         mean=float(counts.mean()),
         std=float(counts.std()),

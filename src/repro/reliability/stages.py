@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..core.ft_crossbar import demux_fanouts
 from .components import (

@@ -86,6 +86,24 @@ class InputPort:
         )
 
     # ------------------------------------------------------------------
+    # warm reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore power-on state: undo slot swaps, reset every VC.
+
+        Sorting the VC objects back by wire id and restoring the identity
+        wire map makes a reset port bit-identical to a freshly built one
+        (slot iteration order matters to the allocators' arbiter streams).
+        """
+        self.slots.sort(key=lambda vc: vc.index)
+        for wire in range(self.num_vcs):
+            self._wire_to_phys[wire] = wire
+        for vc in self.slots:
+            vc.reset()
+        self.nonidle = 0
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     @property

@@ -232,6 +232,36 @@ class BaseRouter:
             self.sa_unit.stage2[p].faulty = p in self.faults.sa2
 
     # ----------------------------------------------------------------------
+    # warm reset
+    # ----------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore power-on state without rebuilding any objects.
+
+        The warm-reset fast path (``docs/performance.md``): clears faults
+        (in place — the crossbar and FT units hold the
+        :class:`RouterFaultState` by reference), empties every VC, refills
+        credits, rewinds arbiter priorities, and zeroes the statistics, so
+        the router is bit-identical to a freshly constructed one.  Static
+        wiring (``out_ports[*].connected``, ``route_row``, ``on_wake``) is
+        deliberately preserved.
+        """
+        self.faults.clear()
+        self._apply_fault_flags()
+        self.crossbar.reset()
+        depth = self.config.buffer_depth
+        for ip in self.in_ports:
+            ip.reset()
+        for op in self.out_ports:
+            for d in range(op.num_vcs):
+                op.credits[d] = depth
+                op.allocated[d] = None
+        self.va_unit.reset()
+        self.sa_unit.reset()
+        self.stats.reset()
+        self._xb_queue.clear()
+        self._nonidle = 0
+
+    # ----------------------------------------------------------------------
     # busy tracking
     # ----------------------------------------------------------------------
     @property

@@ -184,6 +184,30 @@ class VirtualChannel:
             self.state = VCState.IDLE
 
     # ------------------------------------------------------------------
+    # warm reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore power-on state without reallocating the object.
+
+        Part of the warm-reset fast path (``docs/performance.md``): every
+        field returns to its ``__init__`` value so a reset VC is
+        indistinguishable from a freshly constructed one.
+        """
+        self.buffer.clear()
+        self.state = VCState.IDLE
+        self.route = None
+        self.out_vc = None
+        self.packet_id = None
+        self.r2 = None
+        self.vf = False
+        self.borrower_id = None
+        self.sp = None
+        self.fsp = False
+        self.va_retry = 0
+        self.va_excluded = None
+        self.stalled_since = -1
+
+    # ------------------------------------------------------------------
     # FT helpers
     # ------------------------------------------------------------------
     def clear_borrow_request(self) -> None:

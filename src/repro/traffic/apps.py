@@ -24,7 +24,6 @@ here — rather than on instruction-level behaviour, which is not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
 
 import numpy as np
 

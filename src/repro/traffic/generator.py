@@ -1,8 +1,16 @@
 """Traffic sources: temporal injection processes on top of spatial patterns.
 
 The generator is vectorised with NumPy per the hpc-parallel guides: one RNG
-call per cycle decides which of the N nodes inject, rather than N Python-
-level draws.
+call decides which of the N nodes inject, rather than N Python-level draws
+— and the per-cycle Bernoulli draws are additionally *chunked*: quiet
+stretches prefetch a ``(chunk, n_nodes)`` matrix in one call and consume
+it row by row.  ``Generator.random`` fills C-order arrays row-major from
+the same bitstream as successive per-cycle calls, so the consumed stream
+is identical to per-cycle draws; a cycle that does start packets rewinds
+the bit generator and re-draws exactly the consumed rows, leaving the
+stream positioned precisely where the per-cycle code would be before the
+destination/class draws.  Chunking is therefore invisible in the results
+(pinned by ``tests/test_traffic.py``) — it only amortises call overhead.
 
 * :class:`SyntheticTraffic` — Bernoulli (or bursty ON/OFF Markov) injection
   at a given rate in flits/node/cycle, with a configurable packet-size mix
@@ -22,6 +30,10 @@ import numpy as np
 from ..config import NetworkConfig
 from ..router.flit import Packet
 from .patterns import TrafficPattern, UniformRandom
+from .trace import bucket_by_cycle
+
+#: adaptive chunk growth stops here (cycles of Bernoulli draws per RNG call)
+_MAX_CHUNK_CYCLES = 64
 
 
 @dataclass(frozen=True)
@@ -105,38 +117,92 @@ class SyntheticTraffic:
         self._nodes = np.asarray(
             nodes if nodes is not None else np.arange(config.num_nodes)
         )
+        self._n = len(self._nodes)
         # ON/OFF process state: start all-ON for burstiness == 0
-        self._on = np.ones(len(self._nodes), dtype=bool)
+        self._on = np.ones(self._n, dtype=bool)
         if burstiness > 0.0:
             # Mean burst length grows with burstiness; duty cycle 50 %,
             # so the ON-state rate is doubled to preserve the average.
             self._p_exit = (1.0 - burstiness) * 0.1
-            self._on = self.rng.random(len(self._nodes)) < 0.5
+            self._on = self.rng.random(self._n) < 0.5
         else:
             self._p_exit = 0.0
+        #: constant per-node start probability (hoisted: the per-cycle
+        #: ``np.full`` allocation was measurable at 10k+ cycles/run)
+        self._flat_rate = np.full(self._n, self.packet_rate)
+        # ---- chunked-draw state (see module docstring) ----
+        #: rows of the Bernoulli matrix one cycle consumes (the bursty
+        #: process draws an extra ON/OFF-flip row per cycle)
+        self._rows_per_cycle = 2 if burstiness > 0.0 else 1
+        self._chunk: Optional[np.ndarray] = None
+        self._chunk_pos = 0
+        self._chunk_state: Optional[dict] = None
+        #: adaptive: cycles prefetched per chunk (1 = plain per-cycle
+        #: draws; doubled over quiet stretches, reset on a packet start)
+        self._chunk_cycles = 1
+        self._quiet_streak = 0
 
     # ------------------------------------------------------------------
     def _effective_rate(self) -> np.ndarray:
         if self.burstiness == 0.0:
-            return np.full(len(self._nodes), self.packet_rate)
+            return self._flat_rate
         rate = np.where(self._on, 2.0 * self.packet_rate, 0.0)
         return np.minimum(rate, 1.0)
 
     def _advance_onoff(self) -> None:
         if self.burstiness == 0.0:
             return
-        flips = self.rng.random(len(self._nodes)) < self._p_exit
+        flips = self.rng.random(self._n) < self._p_exit
         self._on = np.where(flips, ~self._on, self._on)
 
     def generate(self, cycle: int) -> Iterator[Packet]:
         """Packets created at ``cycle`` (TrafficSource protocol)."""
-        self._advance_onoff()
-        starts = self.rng.random(len(self._nodes)) < self._effective_rate()
+        rng = self.rng
+        n = self._n
+        rpc = self._rows_per_cycle
+        chunk = self._chunk
+        if chunk is not None and self._chunk_pos >= len(chunk):
+            chunk = self._chunk = None
+        if chunk is None and self._chunk_cycles > 1:
+            # prefetch: save the bit-generator state first so a cycle
+            # that starts packets can rewind to the per-cycle position
+            self._chunk_state = rng.bit_generator.state
+            chunk = self._chunk = rng.random((self._chunk_cycles * rpc, n))
+            self._chunk_pos = 0
+        if chunk is None:
+            # chunk length 1: draw per cycle, no rewind bookkeeping
+            self._advance_onoff()
+            starts = rng.random(n) < self._effective_rate()
+        else:
+            pos = self._chunk_pos
+            self._chunk_pos = pos + rpc
+            if rpc == 2:
+                flips = chunk[pos] < self._p_exit
+                self._on = np.where(flips, ~self._on, self._on)
+                starts = chunk[pos + 1] < self._effective_rate()
+            else:
+                starts = chunk[pos] < self._flat_rate
         if not np.any(starts):
+            self._quiet_streak += 1
+            if (
+                self._quiet_streak >= self._chunk_cycles
+                and self._chunk_cycles < _MAX_CHUNK_CYCLES
+            ):
+                self._chunk_cycles *= 2
             return
+        if chunk is not None:
+            # Rewind and burn exactly the rows consumed so far: row-major
+            # fill makes the redraw bit-identical to the prefetched rows,
+            # so the stream now sits exactly where per-cycle draws would —
+            # the destination/class draws below match the reference.
+            rng.bit_generator.state = self._chunk_state
+            rng.random((self._chunk_pos, n))
+            self._chunk = None
+            self._chunk_cycles = 1
+        self._quiet_streak = 0
         sources = self._nodes[starts]
-        dests = self.pattern.destinations(sources, self.rng)
-        classes = self.rng.choice(
+        dests = self.pattern.destinations(sources, rng)
+        classes = rng.choice(
             len(self.mix), size=len(sources), p=self._class_prob
         )
         for src, dst, ci in zip(sources, dests, classes):
@@ -151,23 +217,37 @@ class SyntheticTraffic:
 
 
 class TraceTraffic:
-    """Replays packets from an iterable sorted by creation cycle."""
+    """Replays packets bucketed by creation cycle.
+
+    ``generate(cycle)`` yields every not-yet-replayed packet created at
+    or before ``cycle`` (catch-up semantics: a replay that starts late or
+    skips cycles still delivers everything, in creation order).  Packets
+    are grouped once up front (:func:`repro.traffic.trace.bucket_by_cycle`)
+    so a full replay is O(cycles + packets); the common mid-replay call
+    with nothing due is a single integer comparison.
+    """
 
     def __init__(self, packets: Iterable[Packet]) -> None:
-        self._packets = sorted(packets, key=lambda p: p.creation_cycle)
-        self._next = 0
+        self._cycles, self._buckets = bucket_by_cycle(packets)
+        self._ci = 0
+        self._remaining = sum(len(b) for b in self._buckets.values())
 
     def generate(self, cycle: int) -> Iterator[Packet]:
-        while (
-            self._next < len(self._packets)
-            and self._packets[self._next].creation_cycle <= cycle
-        ):
-            yield self._packets[self._next]
-            self._next += 1
+        cycles = self._cycles
+        ci = self._ci
+        if ci >= len(cycles) or cycles[ci] > cycle:
+            return
+        while ci < len(cycles) and cycles[ci] <= cycle:
+            bucket = self._buckets[cycles[ci]]
+            ci += 1
+            self._ci = ci
+            for p in bucket:
+                self._remaining -= 1
+                yield p
 
     @property
     def remaining(self) -> int:
-        return len(self._packets) - self._next
+        return self._remaining
 
 
 class NullTraffic:

@@ -5,10 +5,14 @@ import pytest
 
 from repro.config import NetworkConfig
 from repro.reliability.network_level import (
+    _fabric_trial_chunk,
+    _fabric_trial_chunk_reference,
+    _links_symmetric,
     analyze_network_reliability,
     protection_gain,
     sample_router_lifetimes,
 )
+from repro.network.topology import Topology
 
 
 class TestLifetimeSampling:
@@ -73,3 +77,35 @@ class TestProtectionGain:
     def test_protected_wins_everywhere(self):
         gains = protection_gain(NetworkConfig(width=3, height=3), trials=60)
         assert all(g > 1.5 for g in gains.values())
+
+
+class TestVectorizedTrialKernel:
+    """The union-find disconnection kernel must be bit-identical to the
+    per-kill `networkx` oracle (same per-seed lifetime streams, same
+    first/k-th/disconnection columns)."""
+
+    def _assert_chunks_equal(self, net, model, trials=30, k=3, root=42):
+        seeds = np.random.SeedSequence(root).spawn(trials)
+        fast = _fabric_trial_chunk(net, model, seeds, k, None)
+        ref = _fabric_trial_chunk_reference(net, model, seeds, k, None)
+        assert np.array_equal(fast, ref)
+
+    def test_mesh_baseline(self):
+        self._assert_chunks_equal(NetworkConfig(width=4, height=4), "baseline")
+
+    def test_mesh_protected(self):
+        self._assert_chunks_equal(NetworkConfig(width=4, height=4), "protected")
+
+    def test_torus(self):
+        net = NetworkConfig(width=4, height=4, topology="torus")
+        self._assert_chunks_equal(net, "protected")
+
+    def test_rectangular_mesh(self):
+        self._assert_chunks_equal(
+            NetworkConfig(width=5, height=3), "baseline", trials=20
+        )
+
+    def test_mesh_links_are_symmetric(self):
+        for kind in ("mesh", "torus"):
+            topo = Topology(NetworkConfig(width=4, height=3, topology=kind))
+            assert _links_symmetric(topo)

@@ -204,6 +204,18 @@ class TestMTTF:
         mc = monte_carlo_mttf(2822.0, 646.0, samples=200_000, rng=42)
         assert mc == pytest.approx(exact, rel=0.02)
 
+    def test_monte_carlo_batched_equals_scalar_reference(self):
+        """The batched sampler consumes the identical RNG stream as the
+        one-draw-per-call oracle — bit-equal means, not approximately."""
+        from repro.reliability.mttf import monte_carlo_mttf_reference
+
+        for seed in (7, 42, 1234):
+            fast = monte_carlo_mttf(2822.0, 646.0, samples=4000, rng=seed)
+            ref = monte_carlo_mttf_reference(
+                2822.0, 646.0, samples=4000, rng=seed
+            )
+            assert fast == ref
+
     def test_analyze_mttf_end_to_end(self):
         rep = analyze_mttf()
         assert rep.mttf_baseline_hours == pytest.approx(354_358, rel=0.01)

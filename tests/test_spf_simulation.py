@@ -112,3 +112,18 @@ class TestSimulatedCampaign:
     def test_rejects_zero_trials(self):
         with pytest.raises(ValueError):
             simulated_faults_to_failure(trials=0)
+
+    def test_bisection_fast_path_matches_reference(self):
+        """The bisection + warm-router campaign returns the exact sample
+        vector of the inject-one-probe-every-step oracle (same rng
+        stream, monotone failure in the fault prefix)."""
+        import numpy as np
+
+        for seed in (2, 3, 9, 11):
+            fast = simulated_faults_to_failure(trials=6, rng=seed)
+            ref = simulated_faults_to_failure(
+                trials=6, rng=seed, reference=True
+            )
+            assert np.array_equal(fast.samples, ref.samples)
+            assert fast.mean == ref.mean
+            assert fast.std == ref.std

@@ -18,6 +18,8 @@ from repro.traffic.apps import (
 )
 from repro.traffic.generator import (
     COHERENCE_MIX,
+    SINGLE_FLIT_MIX,
+    _MAX_CHUNK_CYCLES,
     NullTraffic,
     PacketClass,
     SyntheticTraffic,
@@ -35,6 +37,7 @@ from repro.traffic.patterns import (
     make_pattern,
 )
 from repro.traffic.trace import (
+    bucket_by_cycle,
     load_trace,
     record_source,
     record_to_packet,
@@ -189,6 +192,80 @@ class TestSyntheticTraffic:
 
     def test_null_traffic(self):
         assert list(NullTraffic().generate(0)) == []
+
+
+class TestChunkedDraws:
+    """The chunked Bernoulli prefetch must be invisible in the packet
+    stream: same packets, same destinations, same classes as per-cycle
+    draws from the same seed (the reference path is chunk length 1)."""
+
+    def test_chunked_identical_to_per_cycle(self, net):
+        for rate in (0.0, 0.01, 0.05, 0.2):
+            for burst in (0.0, 0.6):
+                for mix in (SINGLE_FLIT_MIX, COHERENCE_MIX):
+                    fast = SyntheticTraffic(
+                        net, rate, mix=mix, rng=11, burstiness=burst
+                    )
+                    ref = SyntheticTraffic(
+                        net, rate, mix=mix, rng=11, burstiness=burst
+                    )
+                    got, want = [], []
+                    for c in range(1500):
+                        got.extend(
+                            (p.src, p.dest, p.size_flits, p.vnet)
+                            for p in fast.generate(c)
+                        )
+                        # pin the reference to per-cycle draws
+                        ref._chunk_cycles = 1
+                        ref._quiet_streak = 0
+                        want.extend(
+                            (p.src, p.dest, p.size_flits, p.vnet)
+                            for p in ref.generate(c)
+                        )
+                    assert got == want, (rate, burst, len(mix))
+
+    def test_chunk_grows_on_silence_and_resets_on_start(self, net):
+        silent = SyntheticTraffic(net, injection_rate=0.0, rng=1)
+        for c in range(10 * _MAX_CHUNK_CYCLES):
+            assert not list(silent.generate(c))
+        assert silent._chunk_cycles == _MAX_CHUNK_CYCLES
+
+        busy = SyntheticTraffic(net, injection_rate=0.02, rng=1)
+        grew = shrank = False
+        for c in range(4000):
+            had = bool(list(busy.generate(c)))
+            if had:
+                assert busy._chunk_cycles == 1  # reset on every start
+                shrank = True
+            elif busy._chunk_cycles > 1:
+                grew = True
+        assert grew and shrank
+
+    def test_saturated_stream_never_chunks(self, net):
+        t = SyntheticTraffic(net, injection_rate=1.0, rng=2)
+        for c in range(50):
+            assert list(t.generate(c))
+        assert t._chunk_cycles == 1
+        assert t._chunk is None
+
+
+class TestBucketByCycle:
+    def test_buckets_sorted_and_stable(self):
+        pkts = [
+            Packet(src=s, dest=(s + 1) % 16, size_flits=1, creation_cycle=c)
+            for s, c in [(0, 7), (1, 2), (2, 7), (3, 2), (4, 0)]
+        ]
+        cycles, buckets = bucket_by_cycle(pkts)
+        assert cycles == [0, 2, 7]
+        assert [p.src for p in buckets[2]] == [1, 3]  # trace order kept
+        assert [p.src for p in buckets[7]] == [0, 2]
+
+    def test_empty_trace(self):
+        cycles, buckets = bucket_by_cycle([])
+        assert cycles == [] and buckets == {}
+        t = TraceTraffic([])
+        assert list(t.generate(0)) == []
+        assert t.remaining == 0
 
 
 class TestTraceTraffic:
