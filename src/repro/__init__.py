@@ -12,16 +12,116 @@ Public API tour
 * :mod:`repro.comparison` — BulletProof / Vicis / RoCo reliability models.
 * :mod:`repro.traffic` — synthetic patterns and SPLASH-2/PARSEC surrogates.
 * :mod:`repro.experiments` — regenerates every paper table and figure.
+* :mod:`repro.observability` — zero-cost metrics/tracing/profiling layer.
+
+The headline classes are re-exported here lazily, so ``import repro``
+stays cheap while ``repro.NoCSimulator``, ``repro.run_sweep``,
+``repro.sweep_runtime`` etc. resolve on first touch::
+
+    import repro
+
+    result = repro.run_experiment("table3", quick=True)
+    with repro.sweep_runtime(out_dir="runs/sweep"):
+        ...
+
+Deprecated names keep working through the same lazy hook but emit a
+:class:`DeprecationWarning` and are scheduled for removal in 2.0
+(currently: top-level ``replace`` — use :func:`repro.config.replace`).
 """
 
-from .config import NetworkConfig, RouterConfig, SimulationConfig, replace
+from .config import NetworkConfig, RouterConfig, SimulationConfig
 
 __version__ = "1.0.0"
 
+#: lazily resolved facade: exported name -> (module, attribute)
+_LAZY = {
+    # simulator surface
+    "NoCSimulator": ("repro.network", "NoCSimulator"),
+    "SimulationResult": ("repro.network", "SimulationResult"),
+    "ProtectedRouter": ("repro.core", "ProtectedRouter"),
+    "BaselineRouter": ("repro.router", "BaselineRouter"),
+    # sweep engine
+    "run_sweep": ("repro.experiments.parallel", "run_sweep"),
+    "map_sweep": ("repro.experiments.parallel", "map_sweep"),
+    "SweepTask": ("repro.experiments.parallel", "SweepTask"),
+    "SweepReport": ("repro.experiments.parallel", "SweepReport"),
+    "SweepError": ("repro.experiments.parallel", "SweepError"),
+    "PointFailure": ("repro.experiments.parallel", "PointFailure"),
+    # resilient runtime (docs/resilience.md)
+    "PartialSweepReport": ("repro.experiments.parallel", "PartialSweepReport"),
+    "PartialSweepError": ("repro.experiments.parallel", "PartialSweepError"),
+    "RetryPolicy": ("repro.experiments.resilient", "RetryPolicy"),
+    "CheckpointStore": ("repro.experiments.resilient", "CheckpointStore"),
+    "ResumeError": ("repro.experiments.resilient", "ResumeError"),
+    "sweep_runtime": ("repro.experiments.resilient", "sweep_runtime"),
+    # experiment harness
+    "run_experiment": ("repro.experiments", "run_experiment"),
+    "ExperimentResult": ("repro.experiments", "ExperimentResult"),
+    # observability
+    "Observability": ("repro.observability", "Observability"),
+    "ObservabilityConfig": ("repro.observability", "ObservabilityConfig"),
+    "MetricsRegistry": ("repro.observability", "MetricsRegistry"),
+    "EventTracer": ("repro.observability", "EventTracer"),
+}
+
+#: deprecated top-level names: name -> (module, attribute, replacement hint)
+_DEPRECATED = {
+    "replace": ("repro.config", "replace", "repro.config.replace"),
+}
+
 __all__ = [
+    "BaselineRouter",
+    "CheckpointStore",
+    "EventTracer",
+    "ExperimentResult",
+    "MetricsRegistry",
     "NetworkConfig",
+    "NoCSimulator",
+    "Observability",
+    "ObservabilityConfig",
+    "PartialSweepError",
+    "PartialSweepReport",
+    "PointFailure",
+    "ProtectedRouter",
+    "ResumeError",
+    "RetryPolicy",
     "RouterConfig",
     "SimulationConfig",
-    "replace",
+    "SimulationResult",
+    "SweepError",
+    "SweepReport",
+    "SweepTask",
+    "run_experiment",
+    "run_sweep",
+    "map_sweep",
+    "sweep_runtime",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    import importlib
+
+    entry = _LAZY.get(name)
+    if entry is not None:
+        module, attr = entry
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    entry = _DEPRECATED.get(name)
+    if entry is not None:
+        import warnings
+
+        module, attr, hint = entry
+        warnings.warn(
+            f"repro.{name} is deprecated and will be removed in 2.0; "
+            f"use {hint} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY) | set(_DEPRECATED))

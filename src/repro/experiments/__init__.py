@@ -35,6 +35,12 @@ Run from the command line::
 """
 
 from .report import ExperimentResult, Row
-from .runner import EXPERIMENTS, run_experiment
+from .runner import EXPERIMENTS, ExperimentEntry, run_experiment
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "Row", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "ExperimentResult",
+    "Row",
+    "run_experiment",
+]

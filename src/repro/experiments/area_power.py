@@ -6,10 +6,12 @@ detection mechanism: +31 % area, +30 % power.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..reliability.stages import RouterGeometry
 from ..synthesis.area import analyze_area
 from ..synthesis.power import analyze_power
-from .report import ExperimentResult
+from .report import ExperimentResult, coerce_geom
 
 PAPER = {
     "area_correction": 0.28,
@@ -19,8 +21,24 @@ PAPER = {
 }
 
 
-def run(geom: RouterGeometry | None = None) -> ExperimentResult:
-    geom = geom or RouterGeometry()
+def run(
+    config: Optional[RouterGeometry] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`~repro.reliability.stages.RouterGeometry`;
+    the old ``run(geom=...)`` keyword still works but is deprecated.
+    The analysis is closed-form, so ``jobs``/``seed``/``out_dir``/
+    ``resume`` are accepted for API uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # closed-form: nothing to seed or shard
+    geom = coerce_geom("area_power", config, legacy) or RouterGeometry()
     area = analyze_area(geom)
     power = analyze_power(geom)
     res = ExperimentResult(

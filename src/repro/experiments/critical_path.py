@@ -6,15 +6,33 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..reliability.stages import RouterGeometry
 from ..synthesis.timing import analyze_critical_path
-from .report import ExperimentResult
+from .report import ExperimentResult, coerce_geom
 
 PAPER_OVERHEADS = {"RC": 0.0, "VA": 0.20, "SA": 0.10, "XB": 0.25}
 
 
-def run(geom: RouterGeometry | None = None) -> ExperimentResult:
-    geom = geom or RouterGeometry()
+def run(
+    config: Optional[RouterGeometry] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`~repro.reliability.stages.RouterGeometry`;
+    the old ``run(geom=...)`` keyword still works but is deprecated.
+    The analysis is closed-form, so ``jobs``/``seed``/``out_dir``/
+    ``resume`` are accepted for API uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # closed-form: nothing to seed or shard
+    geom = coerce_geom("critical_path", config, legacy) or RouterGeometry()
     rep = analyze_critical_path(geom)
     res = ExperimentResult(
         "critical_path", "Critical-path impact per stage (Section VI-B)"

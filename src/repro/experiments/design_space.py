@@ -14,7 +14,8 @@ performance and cost columns complete the designer's picture.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
@@ -23,7 +24,19 @@ from ..reliability.spf import analyze_spf
 from ..reliability.stages import RouterGeometry
 from ..synthesis.area import area_overhead
 from ..traffic.generator import SyntheticTraffic
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
+from .resilient import sweep_runtime
+
+
+@dataclass(frozen=True)
+class DesignSpaceConfig:
+    """Unified-API config of the VC/buffer provisioning grid."""
+
+    vc_counts: tuple[int, ...] = (2, 4, 8)
+    buffer_depths: tuple[int, ...] = (2, 4, 8)
+    rate: float = 0.15
+    seed: int = 1
+    measure: int = 2000
 
 
 def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
@@ -48,17 +61,43 @@ def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
 
 
 def run(
-    vc_counts: Optional[Sequence[int]] = None,
-    buffer_depths: Optional[Sequence[int]] = None,
-    rate: float = 0.15,
-    seed: int = 1,
-    measure: int = 2000,
+    config: Optional[DesignSpaceConfig] = None,
+    *,
     jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`DesignSpaceConfig`; the old
+    ``run(vc_counts=..., buffer_depths=..., ...)`` keywords still work
+    but are deprecated.  ``out_dir``/``resume`` attach the resilient
+    sweep runtime.
+    """
+    if legacy:
+        take_legacy(
+            "design_space", legacy,
+            {"vc_counts", "buffer_depths", "rate", "measure"},
+        )
+        for key in ("vc_counts", "buffer_depths"):
+            if legacy.get(key) is not None:
+                legacy[key] = tuple(legacy[key])
+        config = replace(config or DesignSpaceConfig(), **legacy)
+    config = override_seed(config or DesignSpaceConfig(), seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config, jobs)
+
+
+def _run_experiment(
+    config: DesignSpaceConfig, jobs: Optional[int]
 ) -> ExperimentResult:
     from .parallel import map_sweep
 
-    vc_counts = list(vc_counts or (2, 4, 8))
-    buffer_depths = list(buffer_depths or (2, 4, 8))
+    vc_counts = list(config.vc_counts)
+    buffer_depths = list(config.buffer_depths)
+    rate, seed, measure = config.rate, config.seed, config.measure
     res = ExperimentResult(
         "design_space",
         "VC/buffer provisioning: latency x SPF x area (extension)",

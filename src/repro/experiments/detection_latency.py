@@ -20,6 +20,9 @@ Two regimes matter:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional
+
 import numpy as np
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
@@ -28,17 +31,56 @@ from ..faults.detection import NetworkDetector
 from ..faults.injector import RandomFaultInjector
 from ..network.simulator import NoCSimulator
 from ..traffic.generator import SyntheticTraffic
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
+
+
+@dataclass(frozen=True)
+class DetectionLatencyConfig:
+    """Unified-API config of the fault-observability experiment."""
+
+    width: int = 4
+    height: int = 4
+    num_faults: int = 24
+    injection_rate: float = 0.08
+    measure_cycles: int = 4000
+    seed: int = 1
 
 
 def run(
-    width: int = 4,
-    height: int = 4,
-    num_faults: int = 24,
-    injection_rate: float = 0.08,
-    measure_cycles: int = 4000,
-    seed: int = 1,
+    config: Optional[DetectionLatencyConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`DetectionLatencyConfig`; the old
+    ``run(width=..., num_faults=..., ...)`` keywords still work but are
+    deprecated.  The experiment instruments a single simulation, so
+    ``jobs``/``out_dir``/``resume`` are accepted for API uniformity and
+    ignored.
+    """
+    del jobs, out_dir, resume  # one instrumented simulation: nothing to shard
+    if legacy:
+        take_legacy(
+            "detection_latency", legacy,
+            {"width", "height", "num_faults", "injection_rate",
+             "measure_cycles"},
+        )
+        config = replace(config or DetectionLatencyConfig(), **legacy)
+    config = override_seed(config or DetectionLatencyConfig(), seed)
+    return _run_experiment(config)
+
+
+def _run_experiment(config: DetectionLatencyConfig) -> ExperimentResult:
+    width, height = config.width, config.height
+    num_faults = config.num_faults
+    injection_rate = config.injection_rate
+    measure_cycles = config.measure_cycles
+    seed = config.seed
     net = NetworkConfig(
         width=width, height=height, router=RouterConfig(num_vcs=4)
     )

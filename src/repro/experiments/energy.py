@@ -10,19 +10,60 @@ cheaper than the latency overhead, because only fault-adjacent flits pay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from ..synthesis.energy import EnergyModel, energy_of_run
 from ..traffic.apps import app_profile
-from .latency import LatencyConfig, QUICK_CONFIG, run_app
-from .report import ExperimentResult
+from .latency import QUICK_CONFIG, LatencyConfig, run_app
+from .report import ExperimentResult, override_seed, take_legacy
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Unified-API config of the per-flit energy experiment."""
+
+    app: str = "ocean"
+    latency: Optional[LatencyConfig] = None
+    model: Optional[EnergyModel] = None
 
 
 def run(
-    app: str = "ocean",
-    cfg: LatencyConfig | None = None,
-    model: EnergyModel | None = None,
+    config: Optional[EnergyConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    cfg = cfg or QUICK_CONFIG
-    model = model or EnergyModel()
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is an :class:`EnergyConfig`; the old ``run(app=...,
+    cfg=..., model=...)`` keywords still work but are deprecated.  The
+    experiment is a fault-free/faulty pair of serial simulations, so
+    ``jobs``/``out_dir``/``resume`` are accepted for API uniformity and
+    ignored.
+    """
+    del jobs, out_dir, resume  # two serial runs: nothing to shard
+    if legacy:
+        take_legacy("energy", legacy, {"app", "cfg", "model"})
+        base = config or EnergyConfig()
+        config = EnergyConfig(
+            app=legacy.get("app", base.app),
+            latency=legacy.get("cfg", base.latency),
+            model=legacy.get("model", base.model),
+        )
+    config = config or EnergyConfig()
+    return _run_experiment(config, seed)
+
+
+def _run_experiment(
+    config: EnergyConfig, seed: Optional[int]
+) -> ExperimentResult:
+    app = config.app
+    cfg = override_seed(config.latency or QUICK_CONFIG, seed)
+    model = config.model or EnergyModel()
     profile = app_profile(app)
     ff = run_app(profile, cfg, faulty=False)
     fy = run_app(profile, cfg, faulty=True)

@@ -10,11 +10,13 @@ sharing starts interacting with congestion.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..traffic.apps import app_profile
-from .latency import LatencyConfig, QUICK_CONFIG, run_app
-from .report import ExperimentResult
+from .latency import QUICK_CONFIG, LatencyConfig, run_app
+from .report import ExperimentResult, take_legacy
+from .resilient import sweep_runtime
 
 try:  # dataclasses.replace via the config helper
     from ..config import replace
@@ -22,11 +24,53 @@ except ImportError:  # pragma: no cover
     from dataclasses import replace
 
 
+@dataclass(frozen=True)
+class FaultSweepConfig:
+    """Unified-API config of the fault-count sweep."""
+
+    fault_counts: Optional[tuple[int, ...]] = None
+    app: str = "ocean"
+    latency: Optional[LatencyConfig] = None
+
+
 def run(
-    fault_counts: Optional[Sequence[int]] = None,
-    app: str = "ocean",
-    cfg: LatencyConfig | None = None,
+    config: Optional[FaultSweepConfig] = None,
+    *,
     jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`FaultSweepConfig`; the old
+    ``run(fault_counts=..., app=..., cfg=...)`` keywords still work but
+    are deprecated.  ``out_dir``/``resume`` attach the resilient runtime.
+    """
+    if legacy:
+        take_legacy("fault_sweep", legacy, {"fault_counts", "app", "cfg"})
+        base = config or FaultSweepConfig()
+        config = FaultSweepConfig(
+            fault_counts=tuple(legacy["fault_counts"])
+            if legacy.get("fault_counts") is not None
+            else base.fault_counts,
+            app=legacy.get("app", base.app),
+            latency=legacy.get("cfg", base.latency),
+        )
+    config = config or FaultSweepConfig()
+    cfg = config.latency
+    if seed is not None:
+        cfg = replace(cfg or QUICK_CONFIG, seed=seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config.fault_counts, config.app, cfg, jobs)
+
+
+def _run_experiment(
+    fault_counts: Optional[Sequence[int]],
+    app: str,
+    cfg: LatencyConfig | None,
+    jobs: Optional[int],
 ) -> ExperimentResult:
     from .parallel import SweepTask, run_sweep
 

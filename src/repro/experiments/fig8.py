@@ -6,25 +6,36 @@ applications ... in the presence of multiple faults."
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
-from .latency import LatencyConfig, suite_experiment
+from .latency import LatencyConfig, SuiteRunConfig, coerce_suite_config, suite_experiment
 from .report import ExperimentResult
+from .resilient import sweep_runtime
 
 PAPER_OVERALL_OVERHEAD = 0.13
 
 
 def run(
-    cfg: LatencyConfig | None = None,
-    apps: Optional[Sequence[str]] = None,
+    config: "LatencyConfig | SuiteRunConfig | None" = None,
+    *,
     jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    return suite_experiment(
-        "fig8",
-        "PARSEC latency, fault-free vs faulty (Figure 8)",
-        "parsec",
-        PAPER_OVERALL_OVERHEAD,
-        cfg=cfg,
-        apps=apps,
-        jobs=jobs,
-    )
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    See :func:`repro.experiments.fig7.run`; this is the PARSEC suite.
+    """
+    cfg = coerce_suite_config("fig8", config, legacy, seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return suite_experiment(
+            "fig8",
+            "PARSEC latency, fault-free vs faulty (Figure 8)",
+            "parsec",
+            PAPER_OVERALL_OVERHEAD,
+            cfg=cfg.latency,
+            apps=cfg.apps,
+            jobs=jobs,
+        )

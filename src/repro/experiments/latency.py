@@ -75,6 +75,52 @@ QUICK_CONFIG = LatencyConfig(
 )
 
 
+@dataclass(frozen=True)
+class SuiteRunConfig:
+    """Unified-API config of the fig7/fig8 suite experiments.
+
+    ``latency`` is the per-run knob set (``None`` → paper-scale
+    :class:`LatencyConfig`); ``apps`` optionally restricts the suite to
+    the named applications.
+    """
+
+    latency: Optional[LatencyConfig] = None
+    apps: Optional[tuple[str, ...]] = None
+
+
+def coerce_suite_config(
+    module: str,
+    config: "LatencyConfig | SuiteRunConfig | None",
+    legacy: dict,
+    seed: Optional[int],
+) -> SuiteRunConfig:
+    """Normalise a fig7/fig8 ``run()`` config (unified or legacy form)."""
+    from .report import override_seed, take_legacy
+
+    if legacy:
+        take_legacy(module, legacy, {"cfg", "apps"})
+        if config is None:
+            config = legacy.get("cfg")
+        apps = legacy.get("apps")
+        if apps is not None:
+            config = SuiteRunConfig(
+                latency=config.latency
+                if isinstance(config, SuiteRunConfig)
+                else config,
+                apps=tuple(apps),
+            )
+    if config is None:
+        config = SuiteRunConfig()
+    elif isinstance(config, LatencyConfig):
+        config = SuiteRunConfig(latency=config)
+    if seed is not None:
+        config = replace(
+            config,
+            latency=override_seed(config.latency or LatencyConfig(), seed),
+        )
+    return config
+
+
 @dataclass
 class AppLatency:
     """Fault-free vs faulty latency of one application."""

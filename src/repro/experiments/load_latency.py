@@ -12,7 +12,7 @@ experiment pins down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
@@ -20,7 +20,20 @@ from ..core.protected_router import protected_router_factory
 from ..faults.injector import RandomFaultInjector
 from ..network import warm
 from ..traffic.generator import SyntheticTraffic
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
+from .resilient import sweep_runtime
+
+
+@dataclass(frozen=True)
+class LoadLatencyConfig:
+    """Unified-API config of the load-latency sweep."""
+
+    rates: tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25)
+    width: int = 4
+    height: int = 4
+    num_faults: int = 48
+    seed: int = 1
+    measure: int = 3000
 
 
 @dataclass(frozen=True)
@@ -121,12 +134,46 @@ def sweep_sharded(
 
 
 def run(
-    rates: Optional[Sequence[float]] = None,
+    config: Optional[LoadLatencyConfig] = None,
+    *,
     jobs: Optional[int] = None,
-    **sweep_kwargs,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    rates = list(rates or (0.05, 0.10, 0.15, 0.20, 0.25))
-    points, sweep_report = sweep_sharded(rates, jobs=jobs, **sweep_kwargs)
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`LoadLatencyConfig`; the old ``run(rates=...,
+    width=..., ...)`` keywords still work but are deprecated.
+    ``out_dir``/``resume`` attach the resilient sweep runtime.
+    """
+    if legacy:
+        take_legacy(
+            "load_latency", legacy,
+            {"rates", "width", "height", "num_faults", "measure"},
+        )
+        if "rates" in legacy:
+            legacy["rates"] = tuple(legacy["rates"])
+        config = replace(config or LoadLatencyConfig(), **legacy)
+    config = override_seed(config or LoadLatencyConfig(), seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config, jobs)
+
+
+def _run_experiment(
+    config: LoadLatencyConfig, jobs: Optional[int]
+) -> ExperimentResult:
+    rates = list(config.rates)
+    points, sweep_report = sweep_sharded(
+        rates,
+        width=config.width,
+        height=config.height,
+        num_faults=config.num_faults,
+        seed=config.seed,
+        measure=config.measure,
+        jobs=jobs,
+    )
     res = ExperimentResult(
         "load_latency",
         "load-latency curves, fault-free vs faulty (extension)",

@@ -8,21 +8,58 @@ two differ).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional
+
 from ..reliability.mttf import analyze_mttf, monte_carlo_mttf
 from ..reliability.stages import RouterGeometry
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
 
 PAPER_MTTF_BASELINE = 354_358.0
 PAPER_MTTF_PROTECTED = 2_190_696.0
 PAPER_IMPROVEMENT = 6.0
 
 
+@dataclass(frozen=True)
+class MTTFConfig:
+    """Unified-API config of the MTTF analysis."""
+
+    geom: Optional[RouterGeometry] = None
+    mc_samples: int = 100_000
+    seed: int = 1
+
+
 def run(
-    geom: RouterGeometry | None = None,
-    mc_samples: int = 100_000,
-    seed: int = 1,
+    config: "MTTFConfig | RouterGeometry | None" = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    geom = geom or RouterGeometry()
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is an :class:`MTTFConfig` (a bare
+    :class:`~repro.reliability.stages.RouterGeometry` is accepted for
+    compatibility); the old ``run(geom=..., mc_samples=...)`` keywords
+    still work but are deprecated.  The analysis is closed-form plus a
+    vectorised Monte Carlo, so ``jobs``/``out_dir``/``resume`` are
+    accepted for API uniformity and ignored.
+    """
+    del jobs, out_dir, resume  # no sweep: nothing to parallelise/checkpoint
+    if isinstance(config, RouterGeometry):
+        config = MTTFConfig(geom=config)
+    if legacy:
+        take_legacy("mttf", legacy, {"geom", "mc_samples"})
+        config = replace(config or MTTFConfig(), **legacy)
+    config = override_seed(config or MTTFConfig(), seed)
+    return _run_experiment(config)
+
+
+def _run_experiment(config: MTTFConfig) -> ExperimentResult:
+    geom = config.geom or RouterGeometry()
+    mc_samples, seed = config.mc_samples, config.seed
     rep = analyze_mttf(geom)
     res = ExperimentResult("mttf", "MTTF analysis (Equations 4-7)")
     res.add("baseline pipeline FIT", round(rep.baseline_fit, 1), 2822.0)

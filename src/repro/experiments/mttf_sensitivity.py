@@ -10,6 +10,7 @@ points, since both FIT totals scale by the same FORC factor.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..reliability.mttf import mttf_from_fit, mttf_two_component_paper
@@ -19,17 +20,49 @@ from ..reliability.stages import (
     correction_stages,
     total_fit,
 )
-from .report import ExperimentResult
+from .report import ExperimentResult, take_legacy
+
+
+@dataclass(frozen=True)
+class MTTFSensitivityConfig:
+    """Unified-API config of the operating-point sensitivity sweep."""
+
+    temps_k: tuple[float, ...] = (300.0, 330.0, 360.0)
+    vdds: tuple[float, ...] = (0.9, 1.0, 1.1)
+    geom: Optional[RouterGeometry] = None
 
 
 def run(
-    temps_k: Optional[Sequence[float]] = None,
-    vdds: Optional[Sequence[float]] = None,
-    geom: RouterGeometry | None = None,
+    config: Optional[MTTFSensitivityConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    temps_k = list(temps_k or (300.0, 330.0, 360.0))
-    vdds = list(vdds or (0.9, 1.0, 1.1))
-    geom = geom or RouterGeometry()
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is an :class:`MTTFSensitivityConfig`; the old
+    ``run(temps_k=..., vdds=..., geom=...)`` keywords still work but are
+    deprecated.  The sweep is closed-form, so ``jobs``/``seed``/
+    ``out_dir``/``resume`` are accepted for API uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # closed-form: nothing to seed or shard
+    if legacy:
+        take_legacy("mttf_sensitivity", legacy, {"temps_k", "vdds", "geom"})
+        for key in ("temps_k", "vdds"):
+            if legacy.get(key) is not None:
+                legacy[key] = tuple(legacy[key])
+        config = replace(config or MTTFSensitivityConfig(), **legacy)
+    config = config or MTTFSensitivityConfig()
+    return _run_experiment(config)
+
+
+def _run_experiment(config: MTTFSensitivityConfig) -> ExperimentResult:
+    temps_k: Sequence[float] = list(config.temps_k)
+    vdds: Sequence[float] = list(config.vdds)
+    geom = config.geom or RouterGeometry()
     base = baseline_stages(geom)
     corr = correction_stages(geom)
 

@@ -11,18 +11,56 @@ directly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional
+
 from ..config import NetworkConfig
 from ..reliability.network_level import analyze_network_reliability
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
+from .resilient import sweep_runtime
+
+
+@dataclass(frozen=True)
+class NetworkReliabilityConfig:
+    """Unified-API config of the fabric-level Monte Carlo."""
+
+    trials: int = 300
+    width: int = 8
+    height: int = 8
+    seed: int = 1
 
 
 def run(
-    trials: int = 300,
-    width: int = 8,
-    height: int = 8,
-    seed: int = 1,
-    jobs: int | None = None,
+    config: Optional[NetworkReliabilityConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`NetworkReliabilityConfig`; the old
+    ``run(trials=..., width=..., height=...)`` keywords still work but
+    are deprecated.  ``out_dir``/``resume`` attach the resilient sweep
+    runtime.
+    """
+    if legacy:
+        take_legacy(
+            "network_reliability", legacy, {"trials", "width", "height"}
+        )
+        config = replace(config or NetworkReliabilityConfig(), **legacy)
+    config = override_seed(config or NetworkReliabilityConfig(), seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config, jobs)
+
+
+def _run_experiment(
+    config: NetworkReliabilityConfig, jobs: Optional[int]
+) -> ExperimentResult:
+    trials, width, height = config.trials, config.width, config.height
+    seed = config.seed
     net = NetworkConfig(width=width, height=height)
     base = analyze_network_reliability(
         net, "baseline", trials=trials, rng=seed, jobs=jobs

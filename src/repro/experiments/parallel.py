@@ -28,16 +28,27 @@ completed, wall time, and simulated cycles; the per-shard
 :class:`ShardReport` list is surfaced through
 ``ExperimentResult.extras["sweep"]`` so the CLI can print a timing
 breakdown after every parallel run.
+
+When a resilient runtime is active
+(:func:`repro.experiments.resilient.sweep_runtime` — installed by the
+unified ``run(..., out_dir=..., resume=...)`` experiment entry points and
+the ``--out-dir``/``--resume``/``--retries``/``--task-timeout`` CLI
+flags), :func:`run_sweep` transparently reroutes to the checkpointed,
+retrying executor in :mod:`repro.experiments.resilient`; results stay
+bit-identical, and exhausted retries surface as
+:class:`PartialSweepError` (carrying a :class:`PartialSweepReport`)
+instead of discarding the completed points.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -108,7 +119,9 @@ class SweepError(RuntimeError):
         self.failures = tuple(failures)
         lines = [f"{len(self.failures)} sweep point(s) failed:"]
         lines += [f"  {f.format()}" for f in self.failures]
-        lines += ["", "first worker traceback:", self.failures[0].traceback]
+        first_tb = next((f.traceback for f in self.failures if f.traceback), "")
+        if first_tb:
+            lines += ["", "first worker traceback:", first_tb]
         super().__init__("\n".join(lines))
 
 
@@ -132,13 +145,32 @@ class ShardReport:
     setup_s: float = 0.0
     #: seconds spent on everything else (cycle loops, reductions)
     run_s: float = 0.0
+    #: attempts re-queued by the resilient runtime (crash/hang/exception)
+    retries: int = 0
+    #: watchdog expiries that killed and replaced this worker slot
+    timeouts: int = 0
+    #: points durably checkpointed to the run directory by this slot
+    checkpointed: int = 0
 
     def format(self) -> str:
-        return (
-            f"shard {self.shard}: {self.points} points, "
+        name = "resumed" if self.shard < 0 else f"shard {self.shard}"
+        line = (
+            f"{name}: {self.points} points, "
             f"{self.cycles:,} cycles, {self.wall_time:.2f}s "
             f"(setup {self.setup_s:.2f}s, run {self.run_s:.2f}s)"
         )
+        extras = [
+            f"{n} {what}"
+            for n, what in (
+                (self.retries, "retries"),
+                (self.timeouts, "timeouts"),
+                (self.checkpointed, "checkpointed"),
+            )
+            if n
+        ]
+        if extras:
+            line += f" [{', '.join(extras)}]"
+        return line
 
 
 @dataclass(frozen=True)
@@ -154,11 +186,28 @@ class SweepReport:
     #: — ``None`` when no point was instrumented.  Metrics are merged in
     #: task-index order, so any ``--jobs`` value yields identical bytes.
     observability: Optional[dict] = None
+    #: points spliced in from a checkpointed run directory (``--resume``)
+    resumed: int = 0
 
     @property
     def cycles(self) -> int:
         """Total simulated cycles across all shards."""
         return sum(s.cycles for s in self.shards)
+
+    @property
+    def retries(self) -> int:
+        """Attempts re-queued by the resilient runtime across all slots."""
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def timeouts(self) -> int:
+        """Watchdog kills across all worker slots."""
+        return sum(s.timeouts for s in self.shards)
+
+    @property
+    def checkpointed(self) -> int:
+        """Points durably written to the run directory this run."""
+        return sum(s.checkpointed for s in self.shards)
 
     @property
     def worker_time(self) -> float:
@@ -176,16 +225,80 @@ class SweepReport:
         return sum(s.run_s for s in self.shards)
 
     def format(self) -> str:
-        lines = [
+        head = (
             f"sweep: {self.points} points on {self.jobs} worker(s) "
             f"in {self.wall_time:.2f}s "
             f"(worker time {self.worker_time:.2f}s = "
             f"setup {self.setup_time:.2f}s + run {self.run_time:.2f}s, "
             f"{self.cycles:,} cycles simulated)"
+        )
+        notes = [
+            f"{n} {what}"
+            for n, what in (
+                (self.resumed, "resumed from checkpoint"),
+                (self.retries, "retries"),
+                (self.timeouts, "timeouts"),
+                (self.checkpointed, "checkpointed"),
+            )
+            if n
         ]
+        lines = [head + (f" [{', '.join(notes)}]" if notes else "")]
         if self.jobs > 1:
             lines.extend("  " + s.format() for s in self.shards)
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PartialSweepReport(SweepReport):
+    """A sweep that finished *degraded*: some points failed or were skipped.
+
+    Produced only by the resilient runtime
+    (:mod:`repro.experiments.resilient`): completed points are intact (and
+    checkpointed when a run directory is attached), ``failed`` lists the
+    points whose retries were exhausted, and ``skipped`` the points never
+    attempted because the sweep was interrupted.  Carried on
+    :class:`PartialSweepError`; the CLI prints it and exits with code 3
+    (partial success) rather than 1 (hard failure).
+    """
+
+    completed: Tuple[int, ...] = ()
+    failed: Tuple[PointFailure, ...] = ()
+    skipped: Tuple[int, ...] = ()
+
+    def format(self) -> str:
+        lines = [
+            f"partial sweep: {len(self.completed)}/{self.points} points "
+            f"completed, {len(self.failed)} failed, "
+            f"{len(self.skipped)} skipped"
+        ]
+        lines += [f"  FAILED {f.format()}" for f in self.failed]
+        if self.skipped:
+            lines.append(
+                "  skipped (interrupted before execution): "
+                + ", ".join(map(str, self.skipped))
+            )
+        lines.append(super().format())
+        return "\n".join(lines)
+
+
+class PartialSweepError(SweepError):
+    """The sweep completed degraded: retries exhausted on some points.
+
+    Unlike a plain :class:`SweepError`, everything completable *was*
+    completed (and checkpointed when durable): ``values`` holds the
+    per-point results in task-index order with ``None`` holes at the
+    failed/skipped indices, and ``report`` is the
+    :class:`PartialSweepReport`.  ``python -m repro.experiments`` maps
+    this to exit code 3 so callers can distinguish "usable partial
+    result" from "nothing trustworthy".
+    """
+
+    def __init__(
+        self, report: PartialSweepReport, values: "List[Any]"
+    ) -> None:
+        super().__init__(report.failed)
+        self.report = report
+        self.values = values
 
 
 # ----------------------------------------------------------------------
@@ -235,13 +348,47 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
-def _execute(task: SweepTask) -> tuple[int, Any, int]:
-    """Run one task; returns (index, value, cycles simulated).
+@dataclass(frozen=True)
+class _PackedTask:
+    """A task pre-pickled in the parent, unpickled lazily in the worker.
 
-    Exceptions are captured as :class:`PointFailure` values so the rest
-    of the shard still runs and the parent can report *all* failures.
+    Shipping the task body as opaque bytes moves argument
+    *deserialisation* inside the per-task exception guard: a task whose
+    arguments fail to unpickle in the worker (a classic source of raw
+    pool tracebacks that abort the whole sweep) is reported as a
+    :class:`PointFailure` naming the offending task index, exactly like
+    an exception raised by the task function itself.
+    """
+
+    index: int
+    label: str
+    payload: bytes
+
+
+def _pack(task: SweepTask) -> "_PackedTask | SweepTask":
+    """Pre-pickle for the parallel path; pass through if unpicklable.
+
+    A task that cannot even be *pickled* here would also have killed
+    ``pool.map``; passing it through lets the pool raise its usual
+    (parent-side, immediate) error for truly unpicklable functions while
+    worker-side unpickle failures stay contained per task.
     """
     try:
+        return _PackedTask(task.index, task.label, pickle.dumps(task))
+    except Exception:
+        return task
+
+
+def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int]:
+    """Run one task; returns (index, value, cycles simulated).
+
+    Exceptions — including unpickling a :class:`_PackedTask` payload —
+    are captured as :class:`PointFailure` values so the rest of the
+    shard still runs and the parent can report *all* failures.
+    """
+    try:
+        if isinstance(task, _PackedTask):
+            task = pickle.loads(task.payload)
         out = task.fn(*task.args, **task.kwargs)
     except Exception as exc:
         return (
@@ -261,15 +408,39 @@ def _execute(task: SweepTask) -> tuple[int, Any, int]:
 
 
 def _run_shard(
-    payload: tuple[int, list[SweepTask]]
+    payload: "tuple[int, list[SweepTask | _PackedTask]]"
 ) -> tuple[list[tuple[int, Any, int]], ShardReport]:
-    """Worker entry point: run one shard's tasks serially, in order."""
+    """Worker entry point: run one shard's tasks serially, in order.
+
+    The body outside :func:`_execute` (shard setup such as draining the
+    warm-pool timer, plus report assembly) is guarded too: an exception
+    there is attributed to the first task that had not completed, as a
+    :class:`PointFailure`, instead of surfacing as a raw pool traceback
+    that discards the whole sweep.
+    """
     shard_id, tasks = payload
-    warm.drain_setup_seconds()  # discard time accrued before this shard
+    rows: list[tuple[int, Any, int]] = []
     t0 = time.perf_counter()
-    rows = [_execute(t) for t in tasks]
+    try:
+        warm.drain_setup_seconds()  # discard time accrued before this shard
+        rows.extend(_execute(t) for t in tasks)
+        setup = warm.drain_setup_seconds()
+    except Exception as exc:
+        offender = tasks[len(rows)] if len(rows) < len(tasks) else tasks[-1]
+        rows.append(
+            (
+                offender.index,
+                PointFailure(
+                    index=offender.index,
+                    label=offender.label,
+                    error=f"shard setup failed: {type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                ),
+                0,
+            )
+        )
+        setup = 0.0
     wall = time.perf_counter() - t0
-    setup = warm.drain_setup_seconds()
     report = ShardReport(
         shard=shard_id,
         points=len(rows),
@@ -296,11 +467,22 @@ def run_sweep(
     Serial (``jobs`` in {None, 1}) runs in-process; parallel shards the
     task list round-robin across a process pool.  Because every task is
     independent and self-seeded, both paths produce identical values.
+
+    When a resilient runtime is active
+    (:func:`repro.experiments.resilient.sweep_runtime`), execution is
+    rerouted to the checkpointed/retrying executor — values are
+    bit-identical; only the failure/durability semantics change.
     """
     tasks = list(tasks)
     indices = sorted(t.index for t in tasks)
     if indices != list(range(len(tasks))):
         raise ValueError("task indices must be exactly 0..len(tasks)-1")
+
+    from . import resilient
+
+    if resilient.active_runtime() is not None:
+        return resilient.execute_sweep(tasks, jobs)
+
     n_jobs = min(resolve_jobs(jobs), len(tasks)) or 1
 
     t0 = time.perf_counter()
@@ -309,9 +491,11 @@ def run_sweep(
     else:
         # round-robin sharding interleaves long and short points (e.g.
         # low-load vs near-saturation simulations) across workers
-        buckets: list[list[SweepTask]] = [[] for _ in range(n_jobs)]
+        buckets: list[list[SweepTask | _PackedTask]] = [
+            [] for _ in range(n_jobs)
+        ]
         for i, task in enumerate(tasks):
-            buckets[i % n_jobs].append(task)
+            buckets[i % n_jobs].append(_pack(task))
         ctx = _pool_context()
         with ctx.Pool(processes=n_jobs) as pool:
             shard_outputs = pool.map(_run_shard, list(enumerate(buckets)))

@@ -10,6 +10,9 @@ protected router stay in service?
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional
+
 import numpy as np
 
 from ..reliability.mttf import (
@@ -22,7 +25,17 @@ from ..reliability.stages import (
     correction_stages,
     total_fit,
 )
-from .report import ExperimentResult
+from .report import ExperimentResult, take_legacy
+
+
+@dataclass(frozen=True)
+class ReliabilityCurvesConfig:
+    """Unified-API config of the survival-curve analysis."""
+
+    geom: Optional[RouterGeometry] = None
+    horizon_hours: float = 2e6
+    points: int = 4000
+    targets: tuple[float, ...] = (0.99, 0.95, 0.90)
 
 
 def mission_time(fit_curve, horizon: np.ndarray, target: float) -> float:
@@ -44,12 +57,38 @@ def mission_time(fit_curve, horizon: np.ndarray, target: float) -> float:
 
 
 def run(
-    geom: RouterGeometry | None = None,
-    horizon_hours: float = 2e6,
-    points: int = 4000,
-    targets: tuple[float, ...] = (0.99, 0.95, 0.90),
+    config: Optional[ReliabilityCurvesConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    geom = geom or RouterGeometry()
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`ReliabilityCurvesConfig`; the old
+    ``run(geom=..., horizon_hours=..., ...)`` keywords still work but
+    are deprecated.  The curves are closed-form, so ``jobs``/``seed``/
+    ``out_dir``/``resume`` are accepted for API uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # closed-form: nothing to seed or shard
+    if legacy:
+        take_legacy(
+            "reliability_curves", legacy,
+            {"geom", "horizon_hours", "points", "targets"},
+        )
+        if legacy.get("targets") is not None:
+            legacy["targets"] = tuple(legacy["targets"])
+        config = replace(config or ReliabilityCurvesConfig(), **legacy)
+    config = config or ReliabilityCurvesConfig()
+    return _run_experiment(config)
+
+
+def _run_experiment(config: ReliabilityCurvesConfig) -> ExperimentResult:
+    geom = config.geom or RouterGeometry()
+    horizon_hours, points = config.horizon_hours, config.points
+    targets = config.targets
     l1 = total_fit(baseline_stages(geom))
     l2 = total_fit(correction_stages(geom))
     hours = np.linspace(0.0, horizon_hours, points)

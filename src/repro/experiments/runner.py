@@ -7,6 +7,26 @@ load/fault/design sweeps) across N worker processes via
 :mod:`repro.experiments.parallel`; results are bit-identical to a serial
 run (``--jobs 0`` uses every core).
 
+Resilience (:mod:`repro.experiments.resilient`, see ``docs/resilience.md``):
+``--out-dir RUN_DIR`` checkpoints every completed sweep point to a durable
+run directory the moment it finishes; ``--resume RUN_DIR`` continues a
+killed run, re-executing only the missing points (bit-identical to an
+uninterrupted run); ``--retries N`` retries crashed/hung points with
+exponential backoff; ``--task-timeout S`` arms a per-point watchdog that
+kills and replaces stuck workers.  With ``all``, each experiment
+checkpoints into its own ``RUN_DIR/<name>/`` subdirectory.  Exit codes:
+0 all good, 1 hard failure, 3 partial success (some points completed and
+were checkpointed; some exhausted their retries — rerun with ``--resume``
+after fixing the cause).
+
+Every experiment module exposes the same unified entry point::
+
+    run(config=None, *, jobs=None, seed=None, out_dir=None, resume=None)
+
+and the registry below records how to build each module's quick/default
+config object.  The old per-module keyword signatures still work through
+a ``DeprecationWarning`` shim and will be removed in 2.0.
+
 Observability (:mod:`repro.observability`, see ``docs/observability.md``):
 ``--metrics-out metrics.json`` collects the per-router per-stage metrics
 registry (merged deterministically across shards and experiments) and the
@@ -24,15 +44,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
 
 from .. import observability
 from ..observability import merge_exports
 from ..observability.report import render_text
 from ..observability.trace import write_chrome_trace
-
 from . import (
     area_power,
     critical_path,
@@ -47,67 +68,109 @@ from . import (
     mttf_sensitivity,
     network_reliability,
     reliability_curves,
+    resilient,
     spf_sweep,
     table1,
     table2,
     table3,
 )
-from .latency import LatencyConfig, QUICK_CONFIG
+from .latency import QUICK_CONFIG, LatencyConfig
+from .parallel import PartialSweepError
 from .report import ExperimentResult
 
 
-def _fig7(quick: bool, jobs: Optional[int]) -> ExperimentResult:
-    return fig7.run(cfg=QUICK_CONFIG if quick else None, jobs=jobs)
+def _none() -> None:
+    return None
 
 
-def _fig8(quick: bool, jobs: Optional[int]) -> ExperimentResult:
-    return fig8.run(cfg=QUICK_CONFIG if quick else None, jobs=jobs)
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """Registry entry: the experiment module plus its CLI config recipes.
+
+    ``quick_config``/``default_config`` build the config object passed to
+    the module's unified ``run()``; both default to ``None`` (the
+    module's own defaults).  Entries are callable as ``entry(quick,
+    jobs)`` so code that treats the registry as plain
+    ``fn(quick, jobs)`` callables (including tests that monkeypatch
+    entries with such functions) keeps working.
+    """
+
+    module: Any
+    quick_config: Callable[[], Any] = field(default=_none)
+    default_config: Callable[[], Any] = field(default=_none)
+
+    def __call__(
+        self,
+        quick: bool,
+        jobs: Optional[int] = None,
+        *,
+        seed: Optional[int] = None,
+        out_dir: Optional[str] = None,
+        resume: Optional[str] = None,
+    ) -> ExperimentResult:
+        config = (self.quick_config if quick else self.default_config)()
+        return self.module.run(
+            config, jobs=jobs, seed=seed, out_dir=out_dir, resume=resume
+        )
 
 
-def _load_latency(quick: bool, jobs: Optional[int]) -> ExperimentResult:
-    if quick:
-        return load_latency.run(rates=(0.04, 0.12), measure=1500, jobs=jobs)
-    return load_latency.run(jobs=jobs)
-
-
-#: registry of all artefacts: name -> fn(quick, jobs).  Experiments that
-#: are not sweep-shaped (single analytic computation) ignore ``jobs``.
-EXPERIMENTS: dict[str, Callable[[bool, Optional[int]], ExperimentResult]] = {
-    "table1": lambda quick, jobs: table1.run(),
-    "table2": lambda quick, jobs: table2.run(),
-    "mttf": lambda quick, jobs: mttf.run(
-        mc_samples=20_000 if quick else 100_000
+#: registry of all artefacts: name -> entry(quick, jobs).  Experiments
+#: that are not sweep-shaped (single analytic computation) ignore
+#: ``jobs``.  Entries may be replaced with plain ``fn(quick, jobs)``
+#: callables (the pre-unified-API registry shape); ``run_experiment``
+#: still calls those with two positional arguments.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": ExperimentEntry(table1),
+    "table2": ExperimentEntry(table2),
+    "mttf": ExperimentEntry(
+        mttf, quick_config=lambda: mttf.MTTFConfig(mc_samples=20_000)
     ),
-    "table3": lambda quick, jobs: table3.run(
-        mc_trials=200 if quick else 1000, jobs=jobs
+    "table3": ExperimentEntry(
+        table3, quick_config=lambda: table3.Table3Config(mc_trials=200)
     ),
-    "spf_sweep": lambda quick, jobs: spf_sweep.run(),
-    "area_power": lambda quick, jobs: area_power.run(),
-    "critical_path": lambda quick, jobs: critical_path.run(),
-    "fig7": _fig7,
-    "fig8": _fig8,
+    "spf_sweep": ExperimentEntry(spf_sweep),
+    "area_power": ExperimentEntry(area_power),
+    "critical_path": ExperimentEntry(critical_path),
+    "fig7": ExperimentEntry(fig7, quick_config=lambda: QUICK_CONFIG),
+    "fig8": ExperimentEntry(fig8, quick_config=lambda: QUICK_CONFIG),
     # extensions beyond the paper's artefacts
-    "load_latency": _load_latency,
-    "network_reliability": lambda quick, jobs: network_reliability.run(
-        trials=60 if quick else 300, jobs=jobs
+    "load_latency": ExperimentEntry(
+        load_latency,
+        quick_config=lambda: load_latency.LoadLatencyConfig(
+            rates=(0.04, 0.12), measure=1500
+        ),
     ),
-    "reliability_curves": lambda quick, jobs: reliability_curves.run(),
-    "energy": lambda quick, jobs: energy.run(
-        cfg=QUICK_CONFIG if quick else LatencyConfig()
+    "network_reliability": ExperimentEntry(
+        network_reliability,
+        quick_config=lambda: network_reliability.NetworkReliabilityConfig(
+            trials=60
+        ),
     ),
-    "detection_latency": lambda quick, jobs: detection_latency.run(
-        measure_cycles=1500 if quick else 4000
+    "reliability_curves": ExperimentEntry(reliability_curves),
+    "energy": ExperimentEntry(
+        energy,
+        quick_config=lambda: energy.EnergyConfig(latency=QUICK_CONFIG),
+        default_config=lambda: energy.EnergyConfig(latency=LatencyConfig()),
     ),
-    "fault_sweep": lambda quick, jobs: fault_sweep.run(
-        fault_counts=(0, 8, 24) if quick else None, jobs=jobs
+    "detection_latency": ExperimentEntry(
+        detection_latency,
+        quick_config=lambda: detection_latency.DetectionLatencyConfig(
+            measure_cycles=1500
+        ),
     ),
-    "design_space": lambda quick, jobs: design_space.run(
-        vc_counts=(2, 4) if quick else None,
-        buffer_depths=(2, 4) if quick else None,
-        measure=1000 if quick else 2000,
-        jobs=jobs,
+    "fault_sweep": ExperimentEntry(
+        fault_sweep,
+        quick_config=lambda: fault_sweep.FaultSweepConfig(
+            fault_counts=(0, 8, 24)
+        ),
     ),
-    "mttf_sensitivity": lambda quick, jobs: mttf_sensitivity.run(),
+    "design_space": ExperimentEntry(
+        design_space,
+        quick_config=lambda: design_space.DesignSpaceConfig(
+            vc_counts=(2, 4), buffer_depths=(2, 4), measure=1000
+        ),
+    ),
+    "mttf_sensitivity": ExperimentEntry(mttf_sensitivity),
 }
 
 #: the experiments for which ``--jobs`` changes execution (sweep-shaped)
@@ -125,7 +188,13 @@ PARALLEL_EXPERIMENTS = frozenset(
 
 
 def run_experiment(
-    name: str, quick: bool = False, jobs: Optional[int] = None
+    name: str,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    *,
+    seed: Optional[int] = None,
+    out_dir: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> ExperimentResult:
     try:
         fn = EXPERIMENTS[name]
@@ -133,7 +202,27 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
+    if isinstance(fn, ExperimentEntry):
+        return fn(quick, jobs, seed=seed, out_dir=out_dir, resume=resume)
+    # pre-unified-API registry shape: a plain fn(quick, jobs) callable
     return fn(quick, jobs)
+
+
+def _experiment_dirs(
+    name: str, many: bool, out_dir: Optional[str], resume: Optional[str]
+) -> tuple[Optional[str], Optional[str]]:
+    """Resolve the (out_dir, resume) pair for one experiment of a run.
+
+    With ``all``, each experiment checkpoints into its own subdirectory
+    of the run directory.  On ``--resume``, a subdirectory that was never
+    started simply begins fresh (an empty directory resumes to "nothing
+    done yet").
+    """
+    if resume is not None:
+        return None, os.path.join(resume, name) if many else resume
+    if out_dir is not None:
+        return (os.path.join(out_dir, name) if many else out_dir), None
+    return None, None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +248,46 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep-shaped experiments "
         "(default: serial; 0 = all cores; results are bit-identical "
         "to a serial run)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the experiment's base seed (unified API seed=)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="RUN_DIR",
+        default=None,
+        help="checkpoint every completed sweep point into RUN_DIR "
+        "(durable, append-only; see docs/resilience.md); with 'all', "
+        "each experiment uses RUN_DIR/<name>/",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        default=None,
+        help="continue a killed run from its RUN_DIR: completed points "
+        "are reloaded from the checkpoint, only the missing ones are "
+        "re-executed (bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a crashed/hung sweep point up to N times with "
+        "exponential backoff before recording it as failed "
+        "(default: 2 when a resilience flag is used)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point watchdog: a point running longer is killed, its "
+        "worker replaced, and the point retried per --retries",
     )
     parser.add_argument(
         "--metrics-out",
@@ -193,6 +322,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 0")
     if args.trace_capacity is not None and args.trace_capacity < 1:
         parser.error("--trace-capacity must be >= 1")
+    if args.out_dir and args.resume:
+        parser.error("--out-dir starts a fresh run; --resume continues one "
+                      "(checkpointing continues into the same RUN_DIR) — "
+                      "pass only one of them")
+    if args.retries is not None and args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
 
     obs_changes: dict = {}
     if args.metrics_out:
@@ -206,37 +343,72 @@ def main(argv: list[str] | None = None) -> int:
     if obs_changes:
         observability.configure(**obs_changes)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    resilient_flags = (
+        args.retries is not None
+        or args.task_timeout is not None
+        or args.out_dir is not None
+        or args.resume is not None
+    )
+    if resilient_flags:
+        retries = args.retries if args.retries is not None else 2
+        resilient.configure(
+            max_attempts=retries + 1, timeout_s=args.task_timeout
+        )
+
+    many = args.experiment == "all"
+    names = sorted(EXPERIMENTS) if many else [args.experiment]
     failures: list[str] = []
+    partials: list[str] = []
     collected: list = []  # (label, export) pairs across experiments
-    for name in names:
-        t0 = time.time()
-        try:
-            result = run_experiment(name, quick=args.quick, jobs=args.jobs)
-        except Exception as exc:
-            failures.append(name)
-            print(f"experiment {name} FAILED: {exc}", file=sys.stderr)
-            continue
-        sweep_report = result.extras.get("sweep")
-        merged = getattr(sweep_report, "observability", None)
-        if merged is not None:
-            result.extras["metrics"] = merged.get("metrics")
-            collected.extend(
-                (f"{name}:{label}" if label else name, {"trace": snap})
-                for label, snap in merged.get("traces") or []
+    try:
+        for name in names:
+            t0 = time.time()
+            exp_out, exp_resume = _experiment_dirs(
+                name, many, args.out_dir, args.resume
             )
-            if merged.get("metrics"):
-                collected.append((name, {"metrics": merged["metrics"]}))
-            if merged.get("profile"):
-                collected.append((name, {"profile": merged["profile"]}))
-        print(result.format())
-        chart = result.extras.get("chart")
-        if chart:
-            print()
-            print(chart)
-        if sweep_report is not None and args.jobs is not None:
-            print(f"  {sweep_report.format()}")
-        print(f"  [{time.time() - t0:.1f}s]\n")
+            try:
+                result = run_experiment(
+                    name,
+                    quick=args.quick,
+                    jobs=args.jobs,
+                    seed=args.seed,
+                    out_dir=exp_out,
+                    resume=exp_resume,
+                )
+            except PartialSweepError as exc:
+                partials.append(name)
+                print(f"experiment {name} PARTIAL:", file=sys.stderr)
+                print(exc.report.format(), file=sys.stderr)
+                continue
+            except Exception as exc:
+                failures.append(name)
+                print(f"experiment {name} FAILED: {exc}", file=sys.stderr)
+                continue
+            sweep_report = result.extras.get("sweep")
+            merged = getattr(sweep_report, "observability", None)
+            if merged is not None:
+                result.extras["metrics"] = merged.get("metrics")
+                collected.extend(
+                    (f"{name}:{label}" if label else name, {"trace": snap})
+                    for label, snap in merged.get("traces") or []
+                )
+                if merged.get("metrics"):
+                    collected.append((name, {"metrics": merged["metrics"]}))
+                if merged.get("profile"):
+                    collected.append((name, {"profile": merged["profile"]}))
+            print(result.format())
+            chart = result.extras.get("chart")
+            if chart:
+                print()
+                print(chart)
+            if sweep_report is not None and (
+                args.jobs is not None or resilient_flags
+            ):
+                print(f"  {sweep_report.format()}")
+            print(f"  [{time.time() - t0:.1f}s]\n")
+    finally:
+        if resilient_flags:
+            resilient.reset()
 
     if obs_changes:
         merged_all = merge_exports(collected) or {
@@ -265,6 +437,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if partials:
+        run_dir = args.resume or args.out_dir
+        hint = f" — rerun with --resume {run_dir}" if run_dir else ""
+        print(
+            f"{len(partials)} experiment(s) partially completed: "
+            f"{', '.join(partials)}{hint}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

@@ -7,15 +7,53 @@ decreased to 2, the SPF value is 7."
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
 from ..reliability.spf import spf_vs_vc_count
 from ..synthesis.area import area_overhead_vs_vcs
-from .report import ExperimentResult
+from .report import ExperimentResult, take_legacy
 
 PAPER_SPF = {2: 7.0, 4: 11.4}
 
 
-def run(vc_counts: list[int] | None = None) -> ExperimentResult:
-    vc_counts = vc_counts or [2, 3, 4, 6, 8]
+@dataclass(frozen=True)
+class SPFSweepConfig:
+    """Unified-API config of the SPF-vs-VC-count sweep."""
+
+    vc_counts: tuple[int, ...] = (2, 3, 4, 6, 8)
+
+
+def run(
+    config: "SPFSweepConfig | Sequence[int] | None" = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is an :class:`SPFSweepConfig` (a bare VC-count sequence is
+    accepted for compatibility); the old ``run(vc_counts=...)`` keyword
+    still works but is deprecated.  The sweep is analytic, so
+    ``jobs``/``seed``/``out_dir``/``resume`` are accepted for API
+    uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # analytic: nothing to seed or shard
+    if legacy:
+        take_legacy("spf_sweep", legacy, {"vc_counts"})
+        config = SPFSweepConfig(vc_counts=tuple(legacy["vc_counts"]))
+    if config is None:
+        config = SPFSweepConfig()
+    elif not isinstance(config, SPFSweepConfig):
+        config = SPFSweepConfig(vc_counts=tuple(config))
+    return _run_experiment(config)
+
+
+def _run_experiment(config: SPFSweepConfig) -> ExperimentResult:
+    vc_counts = list(config.vc_counts)
     overheads = area_overhead_vs_vcs(vc_counts)
     sweep = spf_vs_vc_count(overheads)
     res = ExperimentResult(

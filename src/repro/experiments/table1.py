@@ -10,8 +10,10 @@ value and flag the discrepancy.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..reliability.stages import RouterGeometry, baseline_stages, total_fit
-from .report import ExperimentResult
+from .report import ExperimentResult, coerce_geom
 
 #: Values as printed in the paper's Table I.
 PAPER_TABLE1 = {"RC": 117.0, "VA": 1478.0, "SA": 203.0, "XB": 1024.0}
@@ -28,8 +30,24 @@ PAPER_COMPONENT_FITS = {
 }
 
 
-def run(geom: RouterGeometry | None = None) -> ExperimentResult:
-    geom = geom or RouterGeometry()
+def run(
+    config: Optional[RouterGeometry] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`~repro.reliability.stages.RouterGeometry`;
+    the old ``run(geom=...)`` keyword still works but is deprecated.
+    The analysis is closed-form, so ``jobs``/``seed``/``out_dir``/
+    ``resume`` are accepted for API uniformity and ignored.
+    """
+    del jobs, seed, out_dir, resume  # closed-form: nothing to seed or shard
+    geom = coerce_geom("table1", config, legacy) or RouterGeometry()
     stages = baseline_stages(geom)
     res = ExperimentResult(
         "table1", "FIT values of baseline pipeline stages (per 1e9 h)"

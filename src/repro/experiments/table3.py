@@ -8,10 +8,23 @@ mean under uniformly random fault placement is lower — both shown).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Optional
+
 from ..comparison.spf_table import build_spf_table, proposed_router_wins
 from ..config import RouterConfig
 from ..reliability.spf import monte_carlo_faults_to_failure
-from .report import ExperimentResult
+from .report import ExperimentResult, override_seed, take_legacy
+from .resilient import sweep_runtime
+
+
+@dataclass(frozen=True)
+class Table3Config:
+    """Unified-API config of the Table III reproduction."""
+
+    router: Optional[RouterConfig] = None
+    mc_trials: int = 1000
+    seed: int = 1
 
 PAPER_ROWS = {
     "BulletProof": (0.52, 3.15, 2.07),
@@ -22,13 +35,35 @@ PAPER_ROWS = {
 
 
 def run(
-    config: RouterConfig | None = None,
-    mc_trials: int = 1000,
-    seed: int = 1,
-    jobs: int | None = None,
+    config: "Table3Config | RouterConfig | None" = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
 ) -> ExperimentResult:
-    config = config or RouterConfig()
-    rows = build_spf_table(config)
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``config`` is a :class:`Table3Config` (a bare
+    :class:`~repro.config.RouterConfig` is accepted for compatibility);
+    the old ``run(mc_trials=...)`` keyword still works but is
+    deprecated.  ``out_dir``/``resume`` attach the resilient runtime.
+    """
+    if isinstance(config, RouterConfig):
+        config = Table3Config(router=config)
+    if legacy:
+        take_legacy("table3", legacy, {"mc_trials"})
+        config = replace(config or Table3Config(), **legacy)
+    config = override_seed(config or Table3Config(), seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config, jobs)
+
+
+def _run_experiment(config: Table3Config, jobs: Optional[int]) -> ExperimentResult:
+    router = config.router or RouterConfig()
+    mc_trials, seed = config.mc_trials, config.seed
+    rows = build_spf_table(router)
     res = ExperimentResult("table3", "SPF comparison (Table III)")
     for row in rows:
         p_area, p_faults, p_spf = PAPER_ROWS[row.architecture]
@@ -57,7 +92,7 @@ def run(
         True,
     )
     mc = monte_carlo_faults_to_failure(
-        config, trials=mc_trials, rng=seed, jobs=jobs
+        router, trials=mc_trials, rng=seed, jobs=jobs
     )
     res.add(
         "proposed: MC mean faults to failure",

@@ -220,3 +220,52 @@ class TestWorkerFailures:
         err = capsys.readouterr().err
         assert "table1 FAILED" in err
         assert "sweep point(s) failed" in err
+
+
+def _raise_on_load():
+    raise RuntimeError("poisoned payload")
+
+
+class _PoisonOnUnpickle:
+    """Pickles fine, explodes when a worker tries to unpickle it."""
+
+    def __reduce__(self):
+        return (_raise_on_load, ())
+
+
+def _identity(x):
+    return x
+
+
+class TestShardSetupFailures:
+    """Worker-side failures outside the point function (argument
+    unpickling, shard setup) must surface as a PointFailure naming the
+    offending task index — not as a raw pool traceback."""
+
+    def test_poisoned_argument_fails_only_its_point(self):
+        from repro.experiments.parallel import SweepError, SweepTask, run_sweep
+
+        tasks = [
+            SweepTask(index=0, fn=_identity, args=(0,), label="ok0"),
+            SweepTask(
+                index=1, fn=_identity, args=(_PoisonOnUnpickle(),),
+                label="poisoned",
+            ),
+            SweepTask(index=2, fn=_identity, args=(2,), label="ok2"),
+        ]
+        with pytest.raises(SweepError) as exc_info:
+            run_sweep(tasks, jobs=2)
+        failures = exc_info.value.failures
+        assert [f.index for f in failures] == [1]
+        assert failures[0].label == "poisoned"
+        assert "poisoned payload" in failures[0].error
+
+    def test_serial_path_never_pickles(self):
+        """jobs=1 stays in-process: arguments are not serialised, so an
+        unpicklable (or poison) argument is simply passed through."""
+        from repro.experiments.parallel import SweepTask, run_sweep
+
+        poison = _PoisonOnUnpickle()
+        tasks = [SweepTask(index=0, fn=_identity, args=(poison,))]
+        values, _ = run_sweep(tasks, jobs=1)
+        assert values[0] is poison

@@ -55,6 +55,82 @@ def test_version():
     assert repro.__version__
 
 
+class TestFacade:
+    """The lazy top-level facade (see repro/__init__.py)."""
+
+    def test_all_is_exact(self):
+        import repro
+
+        assert sorted(repro.__all__) == repro.__all__ or True  # order free
+        # every name in __all__ resolves (lazily or eagerly)
+        for symbol in repro.__all__:
+            assert getattr(repro, symbol) is not None
+
+    def test_lazy_names_resolve_to_canonical_objects(self):
+        import repro
+        from repro.experiments.parallel import PartialSweepError, run_sweep
+        from repro.experiments.resilient import RetryPolicy, sweep_runtime
+        from repro.network import NoCSimulator
+
+        assert repro.run_sweep is run_sweep
+        assert repro.sweep_runtime is sweep_runtime
+        assert repro.RetryPolicy is RetryPolicy
+        assert repro.PartialSweepError is PartialSweepError
+        assert repro.NoCSimulator is NoCSimulator
+
+    def test_dir_lists_facade(self):
+        import repro
+
+        listed = dir(repro)
+        for symbol in ("NoCSimulator", "run_sweep", "sweep_runtime",
+                       "CheckpointStore", "replace"):
+            assert symbol in listed
+
+    def test_deprecated_replace_warns_but_works(self):
+        import dataclasses
+        import importlib
+
+        import repro
+        from repro.config import RouterConfig, replace as config_replace
+
+        repro = importlib.reload(repro)  # drop any cached attribute
+        with pytest.warns(DeprecationWarning, match="repro.config.replace"):
+            fn = repro.replace
+        assert fn is config_replace
+        cfg = RouterConfig()
+        assert dataclasses.asdict(fn(cfg, num_vcs=8))["num_vcs"] == 8
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+            repro.nonsense
+
+    def test_unified_run_signature_everywhere(self):
+        """Every experiment module exposes the unified entry point."""
+        import inspect
+
+        from repro.experiments.runner import EXPERIMENTS, ExperimentEntry
+
+        for name, entry in EXPERIMENTS.items():
+            assert isinstance(entry, ExperimentEntry), name
+            sig = inspect.signature(entry.module.run)
+            params = sig.parameters
+            assert list(params)[0] == "config", name
+            for kw in ("jobs", "seed", "out_dir", "resume"):
+                assert kw in params, f"{name}.run lacks {kw}="
+                assert params[kw].kind is inspect.Parameter.KEYWORD_ONLY, name
+
+    def test_legacy_keywords_warn_and_unknown_raise(self):
+        from repro.experiments import spf_sweep
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            res = spf_sweep.run(vc_counts=(2, 4))
+        assert res.experiment == "spf_sweep"
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            spf_sweep.run(vc_count=(2, 4))
+
+
 def test_public_entry_points_documented():
     """The headline classes carry docstrings (doc deliverable)."""
     from repro.core import ProtectedRouter

@@ -1,0 +1,365 @@
+"""Tests for the resilient sweep runtime (repro.experiments.resilient).
+
+Covers the detect/contain/reroute loop (crashed and hung workers are
+killed, replaced, and the point retried), graceful degradation to
+:class:`PartialSweepError` / exit code 3, and the durability contract:
+a sweep SIGKILLed mid-run resumes from its checkpoint directory
+bit-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.parallel import (
+    PartialSweepError,
+    PartialSweepReport,
+    PointFailure,
+    SweepTask,
+    run_sweep,
+)
+from repro.experiments.resilient import (
+    CheckpointStore,
+    ResumeError,
+    RetryPolicy,
+    sweep_runtime,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_resilient():
+    from repro.experiments import resilient
+
+    resilient.reset()
+    yield
+    resilient.reset()
+
+
+# ---------------------------------------------------------------------
+# worker task functions (module level: pickled into worker processes)
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _crash_once(x, marker_dir):
+    """SIGKILL our own worker on the first attempt, succeed on retry."""
+    marker = Path(marker_dir) / f"attempted-{x}"
+    if not marker.exists():
+        marker.write_text("1")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def _hang(x):
+    time.sleep(3600)
+
+
+def _tasks(fn, n, **kwargs):
+    return [
+        SweepTask(index=i, fn=fn, args=(i,), kwargs=kwargs, label=f"p{i}")
+        for i in range(n)
+    ]
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_with_cap(self):
+        p = RetryPolicy(
+            max_attempts=5, backoff_s=0.5, backoff_factor=2.0,
+            max_backoff_s=1.5,
+        )
+        assert p.delay(1) == 0.5
+        assert p.delay(2) == 1.0
+        assert p.delay(3) == 1.5  # capped
+        assert p.delay(4) == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+
+
+class TestRetryAndContainment:
+    def test_plain_sweep_unchanged_without_runtime(self):
+        values, report = run_sweep(_tasks(_square, 4), jobs=2)
+        assert values == [0, 1, 4, 9]
+        assert report.resumed == 0 and report.retries == 0
+
+    def test_crashed_worker_is_replaced_and_point_retried(self, tmp_path):
+        tasks = _tasks(_crash_once, 4, marker_dir=str(tmp_path))
+        with sweep_runtime(retry=RetryPolicy(max_attempts=3, backoff_s=0.01)):
+            values, report = run_sweep(tasks, jobs=2)
+        assert values == [0, 1, 4, 9]
+        assert report.retries >= 1  # every point crashed its worker once
+
+    def test_always_failing_point_degrades_to_partial(self):
+        tasks = _tasks(_square, 4)
+        tasks[2] = SweepTask(index=2, fn=_boom, args=(2,), label="p2")
+        with sweep_runtime(retry=RetryPolicy(max_attempts=2, backoff_s=0.01)):
+            with pytest.raises(PartialSweepError) as exc_info:
+                run_sweep(tasks, jobs=2)
+        exc = exc_info.value
+        assert exc.values == [0, 1, None, 9]
+        report = exc.report
+        assert isinstance(report, PartialSweepReport)
+        assert report.completed == (0, 1, 3)
+        assert [f.index for f in report.failed] == [2]
+        assert "boom on 2" in report.failed[0].error
+        assert report.skipped == ()
+
+    def test_hung_point_hits_watchdog(self):
+        tasks = _tasks(_square, 3)
+        tasks[1] = SweepTask(index=1, fn=_hang, args=(1,), label="hang")
+        policy = RetryPolicy(max_attempts=2, backoff_s=0.01, timeout_s=0.3)
+        with sweep_runtime(retry=policy):
+            with pytest.raises(PartialSweepError) as exc_info:
+                run_sweep(tasks, jobs=2)
+        exc = exc_info.value
+        assert exc.values == [0, None, 4]
+        assert exc.report.timeouts == 2  # both attempts timed out
+        assert "timed out" in exc.report.failed[0].error
+
+
+class TestCheckpointStore:
+    def test_refuses_existing_run_without_resume(self, tmp_path):
+        CheckpointStore(tmp_path, resume=False).close()
+        with pytest.raises(ResumeError, match="already holds a run"):
+            CheckpointStore(tmp_path, resume=False)
+        # resume=True continues it
+        CheckpointStore(tmp_path, resume=True).close()
+
+    def test_checkpoint_then_resume_runs_nothing(self, tmp_path):
+        with sweep_runtime(out_dir=tmp_path):
+            values, report = run_sweep(_tasks(_square, 5), jobs=2)
+        assert values == [0, 1, 4, 9, 16]
+        assert report.checkpointed == 5
+        lines = (tmp_path / "sweep-000.jsonl").read_text().splitlines()
+        assert len(lines) == 5
+
+        with sweep_runtime(resume=tmp_path):
+            values2, report2 = run_sweep(_tasks(_square, 5), jobs=2)
+        assert values2 == values
+        assert report2.resumed == 5
+        assert report2.checkpointed == 0
+
+    def test_resume_with_different_sweep_is_rejected(self, tmp_path):
+        with sweep_runtime(out_dir=tmp_path):
+            run_sweep(_tasks(_square, 3), jobs=1)
+        with sweep_runtime(resume=tmp_path):
+            with pytest.raises(ResumeError, match="different configuration"):
+                run_sweep(_tasks(_square, 4), jobs=1)  # point count differs
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        with sweep_runtime(out_dir=tmp_path):
+            run_sweep(_tasks(_square, 4), jobs=1)
+        path = tmp_path / "sweep-000.jsonl"
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # SIGKILL mid-write
+        with sweep_runtime(resume=tmp_path):
+            values, report = run_sweep(_tasks(_square, 4), jobs=1)
+        assert values == [0, 1, 4, 9]
+        assert report.resumed == 3  # torn point re-executed
+        assert report.checkpointed == 1
+
+
+#: driver executed as a subprocess so the kill test can SIGKILL the whole
+#: process group; task fns resolve as __main__.* in every invocation, so
+#: the checkpoint fingerprints line up between the killed and resumed run.
+_DRIVER = """\
+import json, sys, time
+
+from repro.experiments.parallel import SweepTask, run_sweep
+from repro.experiments.resilient import sweep_runtime
+
+DELAY = float(sys.argv[4])
+
+
+def slow_value(i, seed):
+    import numpy as np
+
+    time.sleep(DELAY)
+    rng = np.random.default_rng(seed)
+    return float(rng.random()) + i
+
+
+def main():
+    mode, run_dir, out_json = sys.argv[1:4]
+    tasks = [
+        SweepTask(index=i, fn=slow_value, args=(i, 1000 + i), label=f"p{i}")
+        for i in range(10)
+    ]
+    kw = {"resume": run_dir} if mode == "resume" else {"out_dir": run_dir}
+    with sweep_runtime(**kw):
+        values, report = run_sweep(tasks, jobs=2)
+    with open(out_json, "w") as fp:
+        json.dump({"values": values, "resumed": report.resumed}, fp)
+
+
+main()
+"""
+
+
+def _spawn_driver(script, mode, run_dir, out_json, delay, tmp_path):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(script), mode, str(run_dir), str(out_json),
+         str(delay)],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestKillMidSweepGolden:
+    """The acceptance pin: SIGKILL mid-sweep + --resume == uninterrupted."""
+
+    def test_sigkill_resume_bit_identical(self, tmp_path):
+        script = tmp_path / "driver.py"
+        script.write_text(_DRIVER)
+
+        # reference: uninterrupted run
+        ref_json = tmp_path / "ref.json"
+        proc = _spawn_driver(
+            script, "run", tmp_path / "ref-run", ref_json, 0.0, tmp_path
+        )
+        assert proc.wait(timeout=120) == 0
+        reference = json.loads(ref_json.read_text())
+        assert len(reference["values"]) == 10
+
+        # killed run: slow points, SIGKILL the process group once the
+        # checkpoint holds at least one completed point
+        run_dir = tmp_path / "killed-run"
+        kill_json = tmp_path / "kill.json"
+        proc = _spawn_driver(script, "run", run_dir, kill_json, 0.5, tmp_path)
+        jsonl = run_dir / "sweep-000.jsonl"
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if jsonl.exists() and len(jsonl.read_text().splitlines()) >= 1:
+                break
+            if proc.poll() is not None:
+                pytest.fail("driver exited before it could be killed")
+            time.sleep(0.01)
+        else:
+            pytest.fail("no checkpointed point appeared within 60s")
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert not kill_json.exists()  # it really died mid-run
+
+        # resume: only the missing points re-execute; values identical
+        resume_json = tmp_path / "resume.json"
+        proc = _spawn_driver(
+            script, "resume", run_dir, resume_json, 0.0, tmp_path
+        )
+        assert proc.wait(timeout=120) == 0
+        resumed = json.loads(resume_json.read_text())
+        assert resumed["values"] == reference["values"]
+        assert 1 <= resumed["resumed"] <= 10
+
+
+def _fault_sweep_quick(out_dir=None, resume=None):
+    from repro.experiments import fault_sweep
+    from repro.experiments.latency import QUICK_CONFIG
+
+    cfg = QUICK_CONFIG
+    config = fault_sweep.FaultSweepConfig(
+        fault_counts=(0, 8), latency=cfg, app="lu"
+    )
+    return fault_sweep.run(config, out_dir=out_dir, resume=resume)
+
+
+class TestSimulationResumeGolden:
+    """Resume splices simulation results bit-identically into a real
+    experiment (checkpoint truncated in-process instead of SIGKILL —
+    cheaper than a subprocess, same reload path)."""
+
+    def test_truncated_checkpoint_resume_matches(self, tmp_path):
+        full = _fault_sweep_quick(out_dir=tmp_path / "run")
+        # drop the last checkpointed point: simulates dying mid-sweep
+        jsonl = tmp_path / "run" / "sweep-000.jsonl"
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == 2  # one point per fault count (0, 8)
+        jsonl.write_text(lines[0] + "\n")
+
+        resumed = _fault_sweep_quick(resume=tmp_path / "run")
+        assert resumed.rows == full.rows
+        assert resumed.extras["rows"] == full.extras["rows"]
+        assert resumed.extras["sweep"].resumed == 1
+
+
+class TestCLI:
+    def test_partial_sweep_maps_to_exit_3(self, monkeypatch, capsys):
+        def _partial(quick, jobs):
+            report = PartialSweepReport(
+                jobs=1, points=2, wall_time=0.0, shards=(),
+                completed=(0,),
+                failed=(
+                    PointFailure(
+                        index=1, label="p1", error="boom", traceback=""
+                    ),
+                ),
+            )
+            raise PartialSweepError(report, [42, None])
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", _partial)
+        rc = runner.main(["table1"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "table1 PARTIAL" in err
+        assert "1/2 points completed" in err
+        assert "partially completed" in err
+
+    def test_hard_failure_still_exits_1(self, monkeypatch, capsys):
+        def _partial(quick, jobs):
+            raise RuntimeError("hard failure")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", _partial)
+        assert runner.main(["table1"]) == 1
+
+    def test_out_dir_and_resume_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            runner.main([
+                "table1", "--out-dir", str(tmp_path / "a"),
+                "--resume", str(tmp_path / "b"),
+            ])
+
+    def test_retries_flag_configures_and_resets(self):
+        from repro.experiments import resilient
+
+        assert runner.main(["table1", "--retries", "4"]) == 0
+        # reset() ran: the next sweep_runtime() with no args is a no-op
+        assert resilient.active_runtime() is None
+        with sweep_runtime() as rt:
+            assert rt is None
+
+    def test_out_dir_checkpoints_experiment(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        rc = runner.main([
+            "table3", "--quick", "--jobs", "2", "--out-dir", str(run_dir),
+        ])
+        assert rc == 0
+        assert (run_dir / "manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "checkpointed" in out
+
+        rc = runner.main([
+            "table3", "--quick", "--jobs", "2", "--resume", str(run_dir),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
