@@ -20,7 +20,7 @@ evaluated on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from .sites import FaultSite, FaultUnit

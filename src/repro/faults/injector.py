@@ -37,6 +37,16 @@ class ScheduledFaultInjector:
             yield self._sites[self._next]
             self._next += 1
 
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the next pending fault, or ``None`` when exhausted.
+
+        FaultSchedule lookahead extension: the event-driven engine arms a
+        wake event here so skip-ahead never jumps over a fault arrival.
+        """
+        if self._next < len(self._cycles):
+            return self._cycles[self._next]
+        return None
+
     @property
     def remaining(self) -> int:
         return len(self._cycles) - self._next
@@ -147,3 +157,6 @@ class NullFaultInjector:
 
     def due(self, cycle: int) -> Iterator[FaultSite]:
         return iter(())
+
+    def next_cycle(self) -> Optional[int]:
+        return None

@@ -82,6 +82,17 @@ class TransientFaultInjector:
             yield self._inject_q[self._inject_i].site
             self._inject_i += 1
 
+    def next_cycle(self) -> Optional[int]:
+        """Next pending *injection* cycle (FaultSchedule lookahead).
+
+        Heals are not represented here — they ride on the :meth:`attach`
+        step wrapper, and a wrapped step disables the event-driven
+        skip-ahead entirely, so heals are never jumped over.
+        """
+        if self._inject_i < len(self._inject_q):
+            return self._inject_q[self._inject_i].cycle
+        return None
+
     # -- healing half ------------------------------------------------------
     def heals_due(self, cycle: int) -> Iterator[FaultSite]:
         while self._heal_i < len(self._heals) and self._heals[self._heal_i][0] <= cycle:

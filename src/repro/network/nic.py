@@ -12,6 +12,14 @@ Each node's NIC owns the boundary between the core and the fabric:
   consumption and, with XY routing, freedom from network deadlock), the
   buffer credit is returned, and completed packets are reported to the
   statistics module.
+
+Wake semantics (active-set / event-driven loops): ``on_wake`` fires on
+the 0→1 transition of ``_queued`` in :meth:`NetworkInterface.enqueue`,
+and the NIC stays in the simulator's active set until its last queued
+packet finishes injecting — so an idle NIC costs nothing per cycle, and
+a NIC stalled on credits needs no extra wake (the credit return is a
+scheduled calendar event, which by itself blocks the event-driven loop
+from skipping the cycle it lands on).
 """
 
 from __future__ import annotations

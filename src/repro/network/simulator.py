@@ -25,10 +25,24 @@ ring, and results are bit-identical to the full-scan reference stepper
 (:meth:`NoCSimulator._step_reference`, pinned by the golden determinism
 test).  Bulk randomness (traffic generation, fault schedules) is
 vectorised with NumPy in the traffic/fault modules.
+
+On top of the active sets, :meth:`NoCSimulator.run` is *event-driven*:
+when the fabric is provably idle (no active routers or NICs, no link or
+credit events in flight) the loop asks every wake source for its next
+due cycle — the traffic generator's :meth:`next_injection` lookahead,
+scheduled wake events on the calendar (fault arrivals), the phase
+boundary — and advances ``cycle`` straight to the earliest one.  Fully
+idle stretches (drain tails after a burst, low-injection loads,
+fault-isolated quiet periods) therefore cost zero work per cycle, and
+the skip is invisible in the results: every skipped cycle is a no-op in
+the reference stepper too, and metrics occupancy samples due inside the
+gap are still taken (sampling only reads state, which is frozen while
+idle).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Iterable, Optional, Protocol
@@ -44,7 +58,19 @@ from .topology import Topology
 
 
 class TrafficSource(Protocol):
-    """Anything that emits packets: see :mod:`repro.traffic.generator`."""
+    """Anything that emits packets: see :mod:`repro.traffic.generator`.
+
+    Sources may additionally implement the *lookahead extension*::
+
+        def next_injection(self, cycle: int, horizon: int) -> Optional[int]
+
+    returning the next cycle in ``[cycle, horizon)`` that will yield
+    packets (consuming any randomness for the quiet cycles in between,
+    exactly as per-cycle ``generate`` calls would), or ``None`` when the
+    window is quiet.  The event-driven loop uses it to skip idle
+    stretches; sources without it simply disable skipping during the
+    injection window.
+    """
 
     def generate(self, cycle: int) -> Iterable[Packet]:
         """Packets created at ``cycle`` (their ``src`` selects the NIC)."""
@@ -52,7 +78,18 @@ class TrafficSource(Protocol):
 
 
 class FaultSchedule(Protocol):
-    """Anything that injects faults: see :mod:`repro.faults.injector`."""
+    """Anything that injects faults: see :mod:`repro.faults.injector`.
+
+    Schedules may additionally implement the *lookahead extension*::
+
+        def next_cycle(self) -> Optional[int]
+
+    returning the cycle of the earliest not-yet-injected fault (or
+    ``None`` when exhausted).  The simulator turns it into a scheduled
+    wake event on the calendar so the event-driven loop steps the exact
+    arrival cycle even when the fabric is idle; schedules without it
+    disable skipping entirely.
+    """
 
     def due(self, cycle: int) -> Iterable:
         """FaultSites to inject at ``cycle``."""
@@ -110,12 +147,13 @@ _NUM_EVENT_KINDS = 5
 
 
 class EventScheduler:
-    """Link/credit event queue — a calendar ring keyed by delivery cycle.
+    """Event queue — a calendar ring keyed by delivery cycle, plus wakes.
 
-    Every event is scheduled exactly ``link_latency`` or ``credit_latency``
-    cycles ahead, so a fixed ring of ``max(link, credit) + 1`` slots indexed
-    by ``cycle % span`` replaces a dict keyed on absolute cycles.  Each slot
-    holds one list per event kind.
+    Every link/credit event is scheduled exactly ``link_latency`` or
+    ``credit_latency`` cycles ahead, so a fixed ring of
+    ``max(link, credit) + 1`` slots indexed by ``cycle % span`` replaces a
+    dict keyed on absolute cycles.  Each slot holds one list per event
+    kind.
 
     Dispatch order is behaviour-identical to the old insertion-ordered
     queue (and the golden determinism test pins it): within one cycle each
@@ -125,6 +163,13 @@ class EventScheduler:
     old queue's insertion order.  Only ejection has an observable side
     channel (trace events, ``on_eject``), and ejections stay in their own
     ordered list.
+
+    Alongside the short-horizon ring the scheduler carries *wake events*
+    (:meth:`schedule_wake`): bare "step this cycle" marks at arbitrary
+    future cycles, kept in a heap because they are not bounded by the
+    link/credit span.  Wakes carry no payload and are never dispatched —
+    the event-driven loop merely refuses to skip past one, so whatever
+    scheduled it (today: fault arrivals) runs at its exact cycle.
     """
 
     def __init__(self, sim: "NoCSimulator") -> None:
@@ -142,6 +187,11 @@ class EventScheduler:
         #: flits in flight (pending EV_FLIT + EV_EJECT events), maintained
         #: so ``pending_flits`` is O(1) for the per-cycle drain predicate
         self._in_flight = 0
+        #: all ring events in flight (flits + credits) — O(1) idle check
+        self._pending = 0
+        #: long-horizon wake cycles (heap; duplicates and stale entries
+        #: are tolerated and dropped lazily by :meth:`next_wake`)
+        self._wakes: list[int] = []
         self.cycle = 0
         #: flit-lifecycle tracer, installed by the simulator when enabled
         self.tracer: Optional["EventTracer"] = None
@@ -153,6 +203,7 @@ class EventScheduler:
         if out_port == PORT_LOCAL:
             slot[EV_EJECT].append((src_node, out_vc, flit))
             self._in_flight += 1
+            self._pending += 1
             return
         link = self._out_link[src_node][out_port]
         if link is None:
@@ -162,6 +213,7 @@ class EventScheduler:
             )
         slot[EV_FLIT].append((link[0], link[1], out_vc, flit))
         self._in_flight += 1
+        self._pending += 1
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(
@@ -177,6 +229,7 @@ class EventScheduler:
     def return_credit(self, node: int, in_port: int, wire_vc: int) -> None:
         """A slot of (node, in_port, wire_vc) freed; credit the upstream."""
         slot = self._ring[(self.cycle + self._credit_latency) % self._span]
+        self._pending += 1
         if in_port == PORT_LOCAL:
             slot[EV_NIC_CREDIT].append((node, wire_vc))
             return
@@ -191,6 +244,7 @@ class EventScheduler:
         """NIC consumed a flit; credit the router's local output port."""
         slot = self._ring[(self.cycle + self._credit_latency) % self._span]
         slot[EV_OUT_CREDIT].append((node, wire_vc))
+        self._pending += 1
 
     # -- called by the simulator's link phase -------------------------------
     def dispatch(self, cycle: int) -> int:
@@ -209,6 +263,7 @@ class EventScheduler:
             sim._last_progress = cycle
             flits = len(flit_evs)
             self._in_flight -= flits
+            self._pending -= flits
             flit_evs.clear()
         if eject_evs:
             nics = sim.nics
@@ -222,29 +277,59 @@ class EventScheduler:
             sim._last_progress = cycle
             flits += n
             self._in_flight -= n
+            self._pending -= n
             eject_evs.clear()
         if credit_evs:
             for node, out_port, vc in credit_evs:
                 routers[node].receive_credit(out_port, vc)
+            self._pending -= len(credit_evs)
             credit_evs.clear()
         if nic_credit_evs:
             nics = sim.nics
             for node, vc in nic_credit_evs:
                 nics[node].receive_credit(vc)
+            self._pending -= len(nic_credit_evs)
             nic_credit_evs.clear()
         if out_credit_evs:
             for node, vc in out_credit_evs:
                 routers[node].receive_credit(PORT_LOCAL, vc)
+            self._pending -= len(out_credit_evs)
             out_credit_evs.clear()
         return flits
 
+    # -- wake events (event-driven loop) -----------------------------------
+    def schedule_wake(self, cycle: int) -> None:
+        """Pin ``cycle`` as a cycle the event-driven loop must step.
+
+        Wakes are advisory marks, not dispatched events: stepping every
+        cycle (the reference and active-set loops) trivially honours
+        them, and the skip-ahead loop clamps its jump target to the
+        earliest pending wake.  Duplicates are fine.
+        """
+        heapq.heappush(self._wakes, cycle)
+
+    def next_wake(self, after: int) -> Optional[int]:
+        """Earliest scheduled wake at a cycle > ``after`` (drops stale)."""
+        wakes = self._wakes
+        while wakes and wakes[0] <= after:
+            heapq.heappop(wakes)
+        return wakes[0] if wakes else None
+
     @property
     def pending_events(self) -> int:
-        return sum(len(evs) for slot in self._ring for evs in slot)
+        """Ring events in flight (flits + credits), O(1)."""
+        return self._pending
 
     def pending_flits(self) -> int:
         """Flits currently in flight on links (incl. NIC ejections)."""
         return self._in_flight
+
+    def check_invariants(self) -> None:
+        """O(1) counters must match the actual ring contents."""
+        actual = sum(len(evs) for slot in self._ring for evs in slot)
+        assert actual == self._pending, (
+            f"event counter {self._pending} != ring contents {actual}"
+        )
 
 
 class NoCSimulator:
@@ -262,6 +347,7 @@ class NoCSimulator:
         on_eject: Optional[Callable] = None,
         observability: Optional[Observability] = None,
         use_reference_stepper: bool = False,
+        event_driven: bool = True,
     ) -> None:
         self.config = config
         self.sim_config = sim_config
@@ -307,6 +393,11 @@ class NoCSimulator:
         #: one — slow, kept for the golden determinism test (the two must
         #: produce byte-identical stats and traces)
         self.use_reference_stepper = use_reference_stepper
+        #: let :meth:`run` skip fully idle stretches (the event-driven
+        #: loop).  ``False`` forces per-cycle stepping — same results
+        #: (pinned by the golden tests), kept for benchmarking and as an
+        #: escape hatch for step-wrapping instrumentation.
+        self.event_driven = event_driven
         #: nodes whose router / NIC has work this cycle.  Updated by the
         #: ``on_wake`` hooks on idle→busy transitions and pruned in-step;
         #: ``_step`` iterates these (in sorted node order, for determinism)
@@ -384,26 +475,66 @@ class NoCSimulator:
 
     # ------------------------------------------------------------------
     def _inject_faults(self, cycle: int) -> None:
-        if self.fault_schedule is None:
+        """Inject faults due this cycle, waking every router that was hit.
+
+        Routing the injection through the router's ``on_wake`` hook keeps
+        the active-set and event-driven loops honest: a fault landing on
+        a fully idle router re-enters it into the schedule the same cycle
+        (it is pruned again after its no-op phases if it stays idle), so
+        fault-state changes are never deferred until a flit happens to
+        arrive.  After any injection the next fault arrival is re-armed
+        as a wake event so the skip-ahead loop steps its exact cycle.
+        """
+        schedule = self.fault_schedule
+        if schedule is None:
             return
-        for site in self.fault_schedule.due(cycle):
-            if self.routers[site.router].inject_fault(site):
+        advanced = False
+        for site in schedule.due(cycle):
+            advanced = True
+            router = self.routers[site.router]
+            if router.inject_fault(site):
                 self.faults_injected += 1
+                router.wake()
+        if advanced:
+            self._arm_fault_wake()
+
+    def _arm_fault_wake(self) -> None:
+        """Schedule the next fault arrival as a calendar wake event."""
+        peek = getattr(self.fault_schedule, "next_cycle", None)
+        if peek is None:
+            return
+        nxt = peek()
+        if nxt is not None:
+            self.scheduler.schedule_wake(nxt)
 
     def _step(self, cycle: int, inject_traffic: bool) -> None:
+        """One cycle of the active-set loop (optionally profiled).
+
+        Profiling shares this body: on sampled cycles ``prof`` binds the
+        stage profiler and each phase is fenced with ``perf_counter``;
+        otherwise every fence is a single ``prof is None`` check (well
+        inside the observability layer's <= 5 % disabled-path budget).
+        Keeping one body ended the hand-copied ``_step_profiled`` fork —
+        the profiled and unprofiled paths are now bit-identical by
+        construction (and pinned so by the golden determinism test).
+        """
         obs = self.obs
+        prof = None
         if obs is not None:
-            prof = obs.profiler
-            if prof is not None and prof.should_sample(cycle):
-                self._step_profiled(cycle, inject_traffic, prof)
-                obs.on_cycle(self, cycle)
-                return
             obs.on_cycle(self, cycle)
+            p = obs.profiler
+            if p is not None and p.should_sample(cycle):
+                prof = p
 
         sched = self.scheduler
         sched.cycle = cycle
+        t = perf_counter() if prof is not None else 0.0
         if self.fault_schedule is not None:
             self._inject_faults(cycle)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("faults", now - t)
+            t = now
 
         routers = self.routers
         # Snapshot the active routers in sorted node order: phase (and
@@ -414,10 +545,22 @@ class NoCSimulator:
         for r in active:
             if r._xb_queue:
                 r.xb_phase(sched, cycle)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("xb", now - t)
+            t = now
         for r in active:
             r.sa_phase(cycle)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("sa", now - t)
+            t = now
         for r in active:
             r.va_phase(cycle)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("va", now - t)
+            t = now
         for r in active:
             r.rc_phase(cycle)
         # Prune before dispatch: anything dispatch wakes (flit deliveries)
@@ -426,8 +569,16 @@ class NoCSimulator:
         for r in active:
             if r._nonidle == 0 and not r._xb_queue:
                 discard(r.node)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("rc", now - t)
+            t = now
 
         sched.dispatch(cycle)
+        if prof is not None:
+            now = perf_counter()
+            prof.record("link", now - t)
+            t = now
 
         nics = self.nics
         if inject_traffic:
@@ -441,62 +592,9 @@ class NoCSimulator:
             if nic._queued == 0:
                 discard_nic(n)
         self.flits_in_network += injected
-
-    def _step_profiled(self, cycle: int, inject_traffic: bool, prof) -> None:
-        """One cycle with per-phase wall-time sampling (profiling mode).
-
-        Mirrors :meth:`_step` exactly, with a ``perf_counter`` fence
-        between phases; only every ``sample_every``-th cycle pays this.
-        """
-        sched = self.scheduler
-        sched.cycle = cycle
-        t0 = perf_counter()
-        self._inject_faults(cycle)
-        t1 = perf_counter()
-        prof.record("faults", t1 - t0)
-
-        routers = self.routers
-        active = [routers[n] for n in sorted(self._active_routers)]
-        for r in active:
-            if r._xb_queue:
-                r.xb_phase(sched, cycle)
-        t2 = perf_counter()
-        prof.record("xb", t2 - t1)
-        for r in active:
-            r.sa_phase(cycle)
-        t3 = perf_counter()
-        prof.record("sa", t3 - t2)
-        for r in active:
-            r.va_phase(cycle)
-        t4 = perf_counter()
-        prof.record("va", t4 - t3)
-        for r in active:
-            r.rc_phase(cycle)
-        discard = self._active_routers.discard
-        for r in active:
-            if r._nonidle == 0 and not r._xb_queue:
-                discard(r.node)
-        t5 = perf_counter()
-        prof.record("rc", t5 - t4)
-
-        sched.dispatch(cycle)
-        t6 = perf_counter()
-        prof.record("link", t6 - t5)
-
-        nics = self.nics
-        if inject_traffic:
-            for packet in self.traffic.generate(cycle):
-                nics[packet.src].enqueue(packet)
-        injected = 0
-        discard_nic = self._active_nics.discard
-        for n in sorted(self._active_nics):
-            nic = nics[n]
-            injected += nic.step(cycle)
-            if nic._queued == 0:
-                discard_nic(n)
-        self.flits_in_network += injected
-        prof.record("nic", perf_counter() - t6)
-        prof.cycle_done()
+        if prof is not None:
+            prof.record("nic", perf_counter() - t)
+            prof.cycle_done()
 
     def _step_reference(self, cycle: int, inject_traffic: bool) -> None:
         """The pre-active-set full-scan stepper (reference semantics).
@@ -547,23 +645,93 @@ class NoCSimulator:
         active_nics.update(nic.node for nic in self.nics if nic._queued)
 
     # ------------------------------------------------------------------
+    def _skip_idle(self, cycle: int, horizon: int, lookahead) -> int:
+        """Advance straight to the next cycle with any scheduled work.
+
+        Only called when the fabric is fully idle — no active routers or
+        NICs and no link/credit events in flight — so the only future
+        work can come from traffic injection, scheduled wakes (fault
+        arrivals), or the end of the phase at ``horizon``.  The traffic
+        lookahead consumes the quiet cycles' randomness exactly as
+        per-cycle ``generate`` calls would, so the jump is bit-invisible.
+        Metrics occupancy samples due inside the gap are still taken:
+        sampling only reads component state, which is frozen while idle.
+        """
+        target = horizon
+        nxt = lookahead(cycle, horizon)
+        if nxt is not None and nxt < target:
+            target = nxt
+        wake = self.scheduler.next_wake(cycle - 1)
+        if wake is not None and wake < target:
+            target = wake
+        if target <= cycle:
+            return cycle
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            every = obs.config.occupancy_sample_every
+            first = cycle + (-cycle) % every
+            for c in range(first, target, every):
+                obs.on_cycle(self, c)
+        return target
+
     def run(self) -> SimulationResult:
-        """Warmup + measurement + drain, with watchdog protection."""
+        """Warmup + measurement + drain, with watchdog protection.
+
+        The loop is event-driven (``docs/performance.md``): whenever the
+        fabric is provably idle it jumps ``cycle`` to the earliest future
+        wake source instead of stepping through the gap.  Skipping
+        engages only when every wake source is known — the traffic
+        source implements the ``next_injection`` lookahead, the fault
+        schedule (if any) implements ``next_cycle``, and the stepper has
+        not been wrapped by instrumentation that polls per cycle — and
+        never under the reference stepper, so results are bit-identical
+        across all three loop flavours (pinned by the golden tests).
+        """
         sc = self.sim_config
         self.stats.set_window(sc.warmup_cycles, sc.warmup_cycles + sc.measure_cycles)
         inject_until = sc.warmup_cycles + sc.measure_cycles
         cycle = self.cycle
         self._last_progress = cycle
-        step = self._step_reference if self.use_reference_stepper else self._step
+        reference = self.use_reference_stepper
+        step = self._step_reference if reference else self._step
+
+        lookahead = getattr(self.traffic, "next_injection", None)
+        can_skip = (
+            self.event_driven
+            and not reference
+            # a wrapped stepper (transient heals, online detection) must
+            # be invoked every cycle — it polls outside the event system
+            and "_step" not in self.__dict__
+            and lookahead is not None
+            and (
+                self.fault_schedule is None
+                or hasattr(self.fault_schedule, "next_cycle")
+            )
+        )
+        self._arm_fault_wake()
+
+        active_routers = self._active_routers
+        active_nics = self._active_nics
+        sched = self.scheduler
 
         # warmup + measurement
         while cycle < inject_until:
+            if (
+                can_skip
+                and not active_routers
+                and not active_nics
+                and sched.pending_events == 0
+            ):
+                cycle = self._skip_idle(cycle, inject_until, lookahead)
+                if cycle >= inject_until:
+                    break
             step(cycle, inject_traffic=True)
             cycle += 1
             if self._watchdog_tripped(cycle):
                 break
 
-        # drain
+        # drain.  No skip-ahead here: the moment the fabric goes fully
+        # idle the drained predicate below ends the loop anyway.
         drained = False
         if not self.blocked:
             drain_deadline = cycle + sc.drain_cycles
@@ -571,18 +739,17 @@ class NoCSimulator:
                 # the active-NIC set is exactly the NICs with queued or
                 # mid-injection packets, so this is the old
                 # ``any(nic.queued_packets ...)`` scan in O(1)
-                if self.flits_in_network == 0 and not self._active_nics:
-                    drained = True
+                if self.flits_in_network == 0 and not active_nics:
                     break
                 step(cycle, inject_traffic=False)
                 cycle += 1
                 if self._watchdog_tripped(cycle):
                     break
-            else:
-                # same predicate as the in-loop check: packets still
-                # waiting in NIC source queues mean the network did not
-                # fully drain, even with zero flits in flight
-                drained = self.flits_in_network == 0 and not self._active_nics
+            # Evaluate the drained predicate once, after the loop, for
+            # every exit path (early break, deadline expiry, watchdog):
+            # a final step that empties the network counts as drained
+            # even at the deadline boundary.
+            drained = self.flits_in_network == 0 and not active_nics
 
         self.cycle = cycle
         obs_export = None
@@ -639,3 +806,4 @@ class NoCSimulator:
             f"active-NIC set {sorted(self._active_nics)} != "
             f"NICs with queued packets {sorted(queued)}"
         )
+        self.scheduler.check_invariants()

@@ -53,6 +53,7 @@ def acquire(
     keep_samples: bool = False,
     on_eject: Optional[Callable] = None,
     observability: Optional[Observability] = None,
+    event_driven: bool = True,
 ) -> NoCSimulator:
     """A simulator ready to ``run()`` — warm-reset when possible.
 
@@ -61,6 +62,10 @@ def acquire(
     key matches a previous acquire in this process, else constructs (and
     pools) a new one.  Either way the caller must treat the instance as
     borrowed until its ``run()`` returns.
+
+    ``event_driven`` mirrors the constructor flag; it is plain dynamic
+    state (the loop flavour, not the object graph), so a pooled fabric is
+    simply re-flagged rather than keyed on it.
     """
     global _setup_seconds
     factory = router_factory if router_factory is not None else baseline_router_factory(config)
@@ -71,6 +76,7 @@ def acquire(
         sim = NoCSimulator(
             config, sim_config, traffic, factory, fault_schedule,
             routing_kind, keep_samples, on_eject, observability,
+            event_driven=event_driven,
         )
         _setup_seconds += perf_counter() - t0
         return sim
@@ -80,10 +86,12 @@ def acquire(
         sim = NoCSimulator(
             config, sim_config, traffic, factory, fault_schedule,
             routing_kind, keep_samples, on_eject, observability,
+            event_driven=event_driven,
         )
         _POOL[key] = sim
     else:
         sim.reset(sim_config, traffic, fault_schedule, on_eject, observability)
+        sim.event_driven = event_driven
     _setup_seconds += perf_counter() - t0
     return sim
 

@@ -269,6 +269,19 @@ class BaseRouter:
         """True when the router has any pipeline work this cycle."""
         return self._nonidle > 0 or bool(self._xb_queue)
 
+    def wake(self) -> None:
+        """Force this router into the simulator's active set this cycle.
+
+        Used by out-of-band state changes — today, fault injection — that
+        mutate the router without a flit arriving.  The router runs its
+        (possibly no-op) pipeline phases on the current cycle exactly as
+        the reference full scan would, and is pruned again afterwards if
+        it is still idle, so the active-set invariant (active == busy at
+        cycle boundaries) is preserved.
+        """
+        if self.on_wake is not None:
+            self.on_wake(self.node)
+
     # ----------------------------------------------------------------------
     # per-cycle phases (called by the network simulator, in this order)
     # ----------------------------------------------------------------------

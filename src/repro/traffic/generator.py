@@ -35,6 +35,12 @@ from .trace import bucket_by_cycle
 #: adaptive chunk growth stops here (cycles of Bernoulli draws per RNG call)
 _MAX_CHUNK_CYCLES = 64
 
+#: rows per RNG call in the ``next_injection`` lookahead scan.  Chunk
+#: partitioning is invisible in the consumed stream (rewind-and-burn on a
+#: hit, full consumption when quiet), so the lookahead may use far larger
+#: chunks than the per-cycle path without affecting results.
+_LOOKAHEAD_CHUNK_CYCLES = 1024
+
 
 @dataclass(frozen=True)
 class PacketClass:
@@ -141,6 +147,14 @@ class SyntheticTraffic:
         #: draws; doubled over quiet stretches, reset on a packet start)
         self._chunk_cycles = 1
         self._quiet_streak = 0
+        # ---- lookahead state (event-driven engine, see next_injection) ----
+        #: starts row drawn ahead by :meth:`next_injection`, waiting for
+        #: the matching ``generate(self._stash_cycle)`` call
+        self._stash: Optional[np.ndarray] = None
+        self._stash_cycle = -1
+        #: cycles below this are proven quiet and their randomness is
+        #: already consumed — ``generate`` must not redraw for them
+        self._skip_until = -1
 
     # ------------------------------------------------------------------
     def _effective_rate(self) -> np.ndarray:
@@ -155,8 +169,16 @@ class SyntheticTraffic:
         flips = self.rng.random(self._n) < self._p_exit
         self._on = np.where(flips, ~self._on, self._on)
 
-    def generate(self, cycle: int) -> Iterator[Packet]:
-        """Packets created at ``cycle`` (TrafficSource protocol)."""
+    def _draw_starts(self) -> Optional[np.ndarray]:
+        """Draw one cycle's packet-start decisions; ``None`` when quiet.
+
+        All chunk bookkeeping lives here — prefetch, row consumption,
+        quiet-streak growth, and the rewind-and-burn on a hit — so after
+        a non-``None`` return the bit stream sits exactly where plain
+        per-cycle draws would, ready for the destination/class draws.
+        Shared by :meth:`generate` and the :meth:`next_injection`
+        lookahead, which is what keeps skip-ahead bit-identical.
+        """
         rng = self.rng
         n = self._n
         rpc = self._rows_per_cycle
@@ -189,17 +211,126 @@ class SyntheticTraffic:
                 and self._chunk_cycles < _MAX_CHUNK_CYCLES
             ):
                 self._chunk_cycles *= 2
-            return
+            return None
         if chunk is not None:
             # Rewind and burn exactly the rows consumed so far: row-major
             # fill makes the redraw bit-identical to the prefetched rows,
             # so the stream now sits exactly where per-cycle draws would —
-            # the destination/class draws below match the reference.
+            # the destination/class draws that follow match the reference.
             rng.bit_generator.state = self._chunk_state
             rng.random((self._chunk_pos, n))
             self._chunk = None
             self._chunk_cycles = 1
         self._quiet_streak = 0
+        return starts
+
+    def next_injection(self, cycle: int, horizon: int) -> Optional[int]:
+        """Earliest cycle in ``[cycle, horizon)`` that starts a packet.
+
+        Lookahead for the event-driven engine: draws the same per-cycle
+        rows :meth:`generate` would, so the consumed random stream is
+        identical to stepping every cycle.  A hit row is stashed and
+        handed to the matching ``generate`` call; cycles proven quiet
+        become no-ops there (their randomness is already spent).  Returns
+        ``None`` when the whole window is quiet.
+        """
+        if self._stash is not None:
+            # a previous lookahead already found (and drew) the next hit
+            return self._stash_cycle if self._stash_cycle < horizon else None
+        c = max(cycle, self._skip_until)
+        if self.burstiness == 0.0:
+            return self._next_injection_flat(c, horizon)
+        # bursty: the ON/OFF state evolves row by row, so scan per cycle
+        while c < horizon:
+            starts = self._draw_starts()
+            if starts is not None:
+                self._stash = starts
+                self._stash_cycle = c
+                self._skip_until = c
+                return c
+            c += 1
+        self._skip_until = horizon
+        return None
+
+    def _next_injection_flat(self, c: int, horizon: int) -> Optional[int]:
+        """Vectorised lookahead for the flat (non-bursty) process.
+
+        Scans whole chunks with one comparison per chunk instead of one
+        ``_draw_starts`` call per cycle.  The stream stays bit-identical
+        by the standard chunk argument: a fully quiet stretch consumes
+        its rows outright, and a hit rewinds to the saved state and burns
+        exactly the consumed rows — so chunk boundaries (including the
+        larger lookahead chunks) never show up in the results.  Rows of a
+        pre-existing chunk beyond ``horizon`` are left unconsumed,
+        exactly as per-cycle stepping would leave them.
+        """
+        rng = self.rng
+        n = self._n
+        rate = self.packet_rate
+        # adaptive prefetch: start from the per-cycle path's learned chunk
+        # size (small right after a hit, so short idle gaps stay cheap)
+        # and escalate per quiet chunk toward the lookahead ceiling
+        prefetch = max(self._chunk_cycles, 1)
+        while c < horizon:
+            chunk = self._chunk
+            if chunk is not None and self._chunk_pos >= len(chunk):
+                chunk = self._chunk = None
+            if chunk is None:
+                count = min(horizon - c, prefetch)
+                prefetch = min(prefetch * 2, _LOOKAHEAD_CHUNK_CYCLES)
+                self._chunk_state = rng.bit_generator.state
+                chunk = self._chunk = rng.random((count, n))
+                self._chunk_pos = 0
+            pos = self._chunk_pos
+            limit = min(len(chunk), pos + (horizon - c))
+            hits = (chunk[pos:limit] < rate).any(axis=1)
+            idx = int(np.argmax(hits)) if hits.any() else -1
+            if idx < 0:
+                # window's share of this chunk is all quiet: consumed
+                quiet = limit - pos
+                self._chunk_pos = limit
+                c += quiet
+                self._quiet_streak += quiet
+                while (
+                    self._quiet_streak >= self._chunk_cycles
+                    and self._chunk_cycles < _MAX_CHUNK_CYCLES
+                ):
+                    self._chunk_cycles *= 2
+                continue
+            hit_pos = pos + idx
+            self._chunk_pos = hit_pos + 1
+            starts = chunk[hit_pos] < self._flat_rate
+            # rewind-and-burn: position the stream exactly where per-cycle
+            # draws through the hit cycle would leave it
+            rng.bit_generator.state = self._chunk_state
+            rng.random((self._chunk_pos, n))
+            self._chunk = None
+            self._chunk_cycles = 1
+            self._quiet_streak = 0
+            self._stash = starts
+            self._stash_cycle = c + idx
+            self._skip_until = c + idx
+            return c + idx
+        self._skip_until = horizon
+        return None
+
+    def generate(self, cycle: int) -> Iterator[Packet]:
+        """Packets created at ``cycle`` (TrafficSource protocol)."""
+        if self._stash is not None and cycle == self._stash_cycle:
+            starts = self._stash
+            self._stash = None
+            self._stash_cycle = -1
+            self._skip_until = -1
+        elif cycle < self._skip_until:
+            # next_injection proved this cycle quiet and already consumed
+            # its randomness — redrawing would desync the stream
+            return
+        else:
+            drawn = self._draw_starts()
+            if drawn is None:
+                return
+            starts = drawn
+        rng = self.rng
         sources = self._nodes[starts]
         dests = self.pattern.destinations(sources, rng)
         classes = rng.choice(
@@ -245,6 +376,19 @@ class TraceTraffic:
                 self._remaining -= 1
                 yield p
 
+    def next_injection(self, cycle: int, horizon: int) -> Optional[int]:
+        """Earliest cycle in ``[cycle, horizon)`` with packets to replay.
+
+        Overdue buckets (catch-up) are due immediately at ``cycle``; the
+        replay state is read-only here, so this is pure lookahead.
+        """
+        cycles = self._cycles
+        ci = self._ci
+        if ci >= len(cycles):
+            return None
+        nxt = max(int(cycles[ci]), cycle)
+        return nxt if nxt < horizon else None
+
     @property
     def remaining(self) -> int:
         return self._remaining
@@ -255,3 +399,6 @@ class NullTraffic:
 
     def generate(self, cycle: int) -> Iterator[Packet]:
         return iter(())
+
+    def next_injection(self, cycle: int, horizon: int) -> Optional[int]:
+        return None

@@ -30,7 +30,17 @@ from repro.router.flit import reset_packet_ids
 from repro.traffic.generator import COHERENCE_MIX, SyntheticTraffic
 
 
-def _run_once(protected: bool, with_faults: bool, reference: bool):
+#: the three loop flavours under test: the event-driven engine (skip-ahead
+#: on), the per-cycle active-set stepper, and the full-scan reference
+ENGINES = ("event", "stepper", "reference")
+
+
+def _run_once(
+    protected: bool,
+    with_faults: bool,
+    engine: str = "reference",
+    profile: bool = False,
+):
     reset_packet_ids()
     net = NetworkConfig(
         width=8, height=8, router=RouterConfig(num_vcs=4, num_vnets=2)
@@ -46,7 +56,9 @@ def _run_once(protected: bool, with_faults: bool, reference: bool):
             first_fault_at=50,
             avoid_failure=True,
         )
-    obs = Observability(ObservabilityConfig(trace=True, metrics=True))
+    obs = Observability(
+        ObservabilityConfig(trace=True, metrics=True, profile=profile)
+    )
     sim = NoCSimulator(
         net,
         SimulationConfig(
@@ -64,16 +76,23 @@ def _run_once(protected: bool, with_faults: bool, reference: bool):
         ),
         fault_schedule=fault_schedule,
         observability=obs,
-        use_reference_stepper=reference,
+        use_reference_stepper=(engine == "reference"),
+        event_driven=(engine == "event"),
     )
     result = sim.run()
     return sim, result
 
 
-def _assert_bit_identical(protected: bool, with_faults: bool) -> None:
-    sim_fast, fast = _run_once(protected, with_faults, reference=False)
-    sim_ref, ref = _run_once(protected, with_faults, reference=True)
+def _semantic_export(result):
+    """Observability export minus the wall-clock profile section."""
+    if result.observability is None:
+        return None
+    return {
+        k: v for k, v in result.observability.items() if k != "profile"
+    }
 
+
+def _assert_results_match(fast, ref) -> None:
     assert fast.cycles == ref.cycles
     assert fast.blocked == ref.blocked
     assert fast.drained == ref.drained
@@ -88,9 +107,16 @@ def _assert_bit_identical(protected: bool, with_faults: bool) -> None:
     # event stream must match entry for entry
     assert fast.observability == ref.observability
 
-    # both steppers must leave the fabric (and the active sets) consistent
-    sim_fast.check_invariants()
+
+def _assert_bit_identical(protected: bool, with_faults: bool) -> None:
+    sim_ref, ref = _run_once(protected, with_faults, "reference")
     sim_ref.check_invariants()
+    for engine in ("event", "stepper"):
+        sim_fast, fast = _run_once(protected, with_faults, engine)
+        _assert_results_match(fast, ref)
+        # every loop flavour must leave the fabric (active sets, event
+        # counters) consistent
+        sim_fast.check_invariants()
 
 
 class TestGoldenDeterminism:
@@ -103,11 +129,11 @@ class TestGoldenDeterminism:
     def test_adaptive_routing_bit_identical(self):
         """West-first adaptive routing has no route table — the per-flit
         candidate selection (credit sums + plan lookups) must still be
-        identical between the steppers."""
+        identical across all three loop flavours."""
         reset_packet_ids()
         net = NetworkConfig(width=4, height=4)
 
-        def run(reference: bool):
+        def run(engine: str):
             reset_packet_ids()
             sim = NoCSimulator(
                 net,
@@ -121,16 +147,55 @@ class TestGoldenDeterminism:
                 SyntheticTraffic(net, injection_rate=0.08, rng=4),
                 router_factory=baseline_router_factory(net),
                 routing_kind="west_first",
-                use_reference_stepper=reference,
+                use_reference_stepper=(engine == "reference"),
+                event_driven=(engine == "event"),
             )
             return sim.run()
 
-        fast, ref = run(False), run(True)
-        assert fast.cycles == ref.cycles
-        assert fast.stats.summary() == ref.stats.summary()
-        assert dataclasses.asdict(fast.router_stats) == dataclasses.asdict(
-            ref.router_stats
+        ref = run("reference")
+        for engine in ("event", "stepper"):
+            fast = run(engine)
+            assert fast.cycles == ref.cycles
+            assert fast.stats.summary() == ref.stats.summary()
+            assert dataclasses.asdict(
+                fast.router_stats
+            ) == dataclasses.asdict(ref.router_stats)
+
+
+class TestProfiledGolden:
+    """A profiled run must be bit-identical to an unprofiled one.
+
+    The profiler used to live in a hand-copied ``_step_profiled`` fork of
+    ``_step``; the fork drifted (notably in where ``on_cycle`` sampling
+    happened relative to the pipeline phases).  The unified body keeps
+    profiling behind ``is None`` guards, so everything except the
+    wall-clock profile section must match exactly."""
+
+    def _assert_profiled_matches(self, protected: bool, with_faults: bool):
+        sim_plain, plain = _run_once(
+            protected, with_faults, "event", profile=False
         )
+        sim_prof, prof = _run_once(
+            protected, with_faults, "event", profile=True
+        )
+        assert prof.cycles == plain.cycles
+        assert prof.faults_injected == plain.faults_injected
+        assert prof.stats.summary() == plain.stats.summary()
+        assert dataclasses.asdict(prof.router_stats) == dataclasses.asdict(
+            plain.router_stats
+        )
+        # metrics + trace identical; only the wall-clock profile differs
+        assert _semantic_export(prof) == _semantic_export(plain)
+        assert prof.observability["profile"] is not None
+        assert plain.observability["profile"] is None
+        sim_plain.check_invariants()
+        sim_prof.check_invariants()
+
+    def test_profiled_baseline_bit_identical(self):
+        self._assert_profiled_matches(protected=False, with_faults=False)
+
+    def test_profiled_protected_with_faults_bit_identical(self):
+        self._assert_profiled_matches(protected=True, with_faults=True)
 
 
 class TestWarmResetEquivalence:
