@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Gate fresh ``BENCH_*.json`` measurements against committed baselines.
+
+Every engineering bench writes its measurements to the JSON file named
+by ``REPRO_BENCH_JSON``.  This script diffs those fresh files against
+the committed snapshots in ``benchmarks/baselines/`` and fails (exit 1)
+when a metric regresses beyond its tolerance:
+
+* **machine-independent ratios** (``*_speedup``, ``*_speedup_x``,
+  ``*_overhead_x``, ``*_ratio``) are gated tight — default 25%.  A
+  speedup is work divided by the same work on the same machine, so a
+  25% drop means the optimization itself eroded, not the runner;
+* **machine-dependent magnitudes** (``*_s`` seconds, ``*_per_s`` /
+  ``*_per_sec`` rates) are gated loose — default 60% — because CI
+  runner generations legitimately differ by tens of percent.  The loose
+  gate still catches the failures that matter (an accidental
+  quadratic, a dropped fast path) which shift throughput by integer
+  factors;
+* **counts** (streamed points, dedup computations, emitted events) are
+  deterministic and must match exactly;
+* timings whose baseline is under the noise floor (50 ms) are reported
+  but never gated — at that scale scheduler jitter exceeds any signal.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_observability.json ...
+    python benchmarks/compare_bench.py --update BENCH_*.json   # new baselines
+
+Exit codes: 0 ok, 1 regression, 2 usage error / missing baseline.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "baselines")
+
+#: baseline seconds below this are pure scheduler jitter — never gated
+NOISE_FLOOR_S = 0.05
+
+RELATIVE_SUFFIXES = ("_speedup", "_speedup_x", "_overhead_x", "_ratio")
+RATE_SUFFIXES = ("_per_s", "_per_sec")
+
+
+def classify(key, value):
+    """``(kind, higher_is_better)`` for one metric key.
+
+    kind is one of ``relative`` (machine-independent ratio),
+    ``absolute`` (machine-dependent magnitude), ``count`` (exact), or
+    ``info`` (never gated).
+    """
+    if key.endswith(RELATIVE_SUFFIXES):
+        lower_is_better = key.endswith(("_overhead_x", "_ratio"))
+        return "relative", not lower_is_better
+    if key.endswith(RATE_SUFFIXES):
+        return "absolute", True
+    if key.endswith("_s"):
+        return "absolute", False
+    if isinstance(value, int) and not isinstance(value, bool):
+        return "count", True
+    return "info", True
+
+
+def compare_metric(key, base, fresh, *, rel_tol, abs_tol):
+    """Return ``(status, message)``; status in {ok, skip, info, FAIL}."""
+    kind, higher = classify(key, base)
+    arrow = f"{base:g} -> {fresh:g}"
+    if kind == "info":
+        return "info", f"{key}: {arrow} (informational)"
+    if kind == "count":
+        if fresh == base:
+            return "ok", f"{key}: {base:g} (exact)"
+        return "FAIL", f"{key}: {arrow} (deterministic count changed)"
+    if kind == "absolute" and key.endswith("_s") and base < NOISE_FLOOR_S:
+        return "skip", (
+            f"{key}: {arrow} (under the {NOISE_FLOOR_S * 1e3:.0f} ms "
+            f"noise floor, not gated)"
+        )
+    tol = rel_tol if kind == "relative" else abs_tol
+    if base == 0:
+        return "info", f"{key}: {arrow} (zero baseline, not gated)"
+    change = (fresh - base) / abs(base)
+    regressed = change < -tol if higher else change > tol
+    direction = "higher" if higher else "lower"
+    note = (
+        f"{key}: {arrow} ({change:+.1%}, {direction} is better, "
+        f"tolerance {tol:.0%})"
+    )
+    return ("FAIL" if regressed else "ok"), note
+
+
+def compare_file(fresh_path, baseline_path, *, rel_tol, abs_tol):
+    """Compare one fresh BENCH file; returns a list of failure lines."""
+    with open(fresh_path) as fp:
+        fresh = json.load(fp)
+    with open(baseline_path) as fp:
+        base = json.load(fp)
+
+    failures = []
+    print(f"== {os.path.basename(fresh_path)} "
+          f"(baseline: {os.path.relpath(baseline_path)})")
+    for key in sorted(set(base) | set(fresh)):
+        if key not in fresh:
+            failures.append(f"{key}: missing from the fresh run "
+                            f"(bench stopped emitting it?)")
+            print(f"  FAIL {failures[-1]}")
+            continue
+        if key not in base:
+            print(f"  new  {key}: {fresh[key]:g} "
+                  f"(not in baseline; run --update to adopt)")
+            continue
+        status, message = compare_metric(
+            key, base[key], fresh[key], rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        print(f"  {status:<4} {message}")
+        if status == "FAIL":
+            failures.append(message)
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json files against committed "
+        "baselines; exit 1 on regression.",
+    )
+    parser.add_argument("files", nargs="+", metavar="BENCH.json",
+                        help="fresh benchmark JSON files")
+    parser.add_argument("--baseline-dir", default=BASELINE_DIR)
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", 0.25)),
+        help="allowed regression for machine-independent ratios "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute-tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_ABS_TOLERANCE", 0.60)),
+        help="allowed regression for machine-dependent magnitudes "
+        "(default 0.60; absorbs runner variance, still catches "
+        "integer-factor slowdowns)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="adopt the fresh files as the new baselines instead of "
+        "comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in args.files:
+            dst = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"baseline updated: {os.path.relpath(dst)}")
+        return 0
+
+    all_failures = []
+    for path in args.files:
+        if not os.path.exists(path):
+            print(f"error: fresh benchmark file not found: {path}",
+                  file=sys.stderr)
+            return 2
+        baseline = os.path.join(args.baseline_dir, os.path.basename(path))
+        if not os.path.exists(baseline):
+            print(
+                f"error: no committed baseline for {os.path.basename(path)}"
+                f" — run `python benchmarks/compare_bench.py --update "
+                f"{path}` and commit {os.path.relpath(baseline)}",
+                file=sys.stderr,
+            )
+            return 2
+        all_failures += compare_file(
+            path, baseline,
+            rel_tol=args.tolerance, abs_tol=args.absolute_tolerance,
+        )
+
+    if all_failures:
+        print(f"\n{len(all_failures)} benchmark regression(s):",
+              file=sys.stderr)
+        for line in all_failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nall benchmark metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,7 @@ moving, ECC keeps their contents trustworthy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -24,7 +24,6 @@ blocks all VA to that port.
 
 from __future__ import annotations
 
-from ..config import RouterConfig
 from ..faults.sites import RouterFaultState
 from .ft_crossbar import reachable_outputs_exact
 

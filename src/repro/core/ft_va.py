@@ -26,8 +26,6 @@ no extra circuitry).  We record the failed downstream VC in the VC's
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..router.allocator import VAUnit
 from ..router.vc import VCState, VirtualChannel
 

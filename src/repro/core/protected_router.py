@@ -22,7 +22,7 @@ Section V-D) — a property the integration tests assert.
 
 from __future__ import annotations
 
-from ..config import NetworkConfig, RouterConfig
+from ..config import NetworkConfig
 from ..router.crossbar import Crossbar
 from ..router.router import BaseRouter, RCUnit
 from ..router.routing import RoutingFunction

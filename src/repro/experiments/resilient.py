@@ -42,13 +42,14 @@ import base64
 import json
 import os
 import pickle
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from hashlib import sha256
 from multiprocessing import connection
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "CheckpointStore",
@@ -56,10 +57,28 @@ __all__ = [
     "RetryPolicy",
     "SweepRuntime",
     "active_runtime",
+    "atomic_write_json",
     "configure",
     "reset",
     "sweep_runtime",
 ]
+
+
+def atomic_write_json(path: str | os.PathLike, obj: Any, **dump_kwargs: Any) -> None:
+    """Write ``obj`` as JSON so readers never observe a torn file.
+
+    The durable-store primitive shared by :class:`CheckpointStore`
+    (manifest updates) and :class:`repro.service.cache.ResultCache`
+    (content-addressed entries): dump to a sibling ``.tmp`` file, then
+    :func:`os.replace` it into place — on POSIX the rename is atomic, so
+    a crash mid-write leaves either the old content or the new, never a
+    prefix of the new.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fp:
+        json.dump(obj, fp, **dump_kwargs)
+    os.replace(tmp, path)
 
 
 # ----------------------------------------------------------------------
@@ -185,10 +204,9 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------
     def _write_manifest(self) -> None:
-        tmp = self.path / (MANIFEST_NAME + ".tmp")
-        with open(tmp, "w") as fp:
-            json.dump(self._manifest, fp, sort_keys=True, indent=1)
-        os.replace(tmp, self.path / MANIFEST_NAME)
+        atomic_write_json(
+            self.path / MANIFEST_NAME, self._manifest, sort_keys=True, indent=1
+        )
 
     def _sweep_file(self, seq: int) -> Path:
         return self.path / f"sweep-{seq:03d}.jsonl"
@@ -291,10 +309,19 @@ class CheckpointStore:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SweepRuntime:
-    """The resilience configuration one :func:`sweep_runtime` installs."""
+    """The resilience configuration one :func:`sweep_runtime` installs.
+
+    ``progress`` is an optional per-point completion hook: the resilient
+    executor calls it with a small dict (``sweep`` sequence number,
+    point ``index``/``label``, ``attempts``, ``resumed``) the moment each
+    point finishes.  It runs on the supervisor thread, so it must be
+    cheap and thread-safe — :mod:`repro.service` uses it to stream
+    completed points to HTTP clients while the sweep is still running.
+    """
 
     store: Optional[CheckpointStore] = None
     retry: RetryPolicy = RetryPolicy()
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None
 
 
 class _ActiveRun:
@@ -313,7 +340,20 @@ class _ActiveRun:
         self.next_seq = 0
 
 
-_active: Optional[_ActiveRun] = None
+#: per-thread activation: the sweep-as-a-service server computes several
+#: experiments concurrently, each on its own thread with its own runtime
+#: (progress hook, checkpoint store); a module-global here would leak one
+#: request's runtime into another's sweeps
+_tls = threading.local()
+
+
+def _get_active() -> Optional[_ActiveRun]:
+    return getattr(_tls, "active", None)
+
+
+def _set_active(run: Optional[_ActiveRun]) -> None:
+    _tls.active = run
+
 
 #: process default retry policy; ``configure`` (CLI --retries/--task-timeout)
 #: replaces it and forces the resilient executor on for subsequent runs
@@ -354,15 +394,16 @@ def configure(
 
 def reset() -> None:
     """Restore the inactive default (test isolation helper)."""
-    global _default_policy, _force_resilient, _active
+    global _default_policy, _force_resilient
     _default_policy = RetryPolicy()
     _force_resilient = False
-    _active = None
+    _set_active(None)
 
 
 def active_runtime() -> Optional[SweepRuntime]:
-    """The installed runtime, or ``None`` (plain engine)."""
-    return None if _active is None else _active.runtime
+    """The installed runtime of the current thread, or ``None``."""
+    active = _get_active()
+    return None if active is None else active.runtime
 
 
 @contextmanager
@@ -370,20 +411,24 @@ def sweep_runtime(
     out_dir: Optional[str | os.PathLike] = None,
     resume: Optional[str | os.PathLike] = None,
     retry: Optional[RetryPolicy] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Iterator[Optional[SweepRuntime]]:
     """Install the resilient runtime for sweeps run inside the block.
 
     ``resume`` names an existing run directory (missing points only are
     re-executed; checkpointing continues into the same directory);
     ``out_dir`` starts a fresh one.  With neither, the block is a no-op
-    unless a retry policy is given (here or via :func:`configure`), in
-    which case sweeps retry/watchdog without durability.  Nested
-    activations are no-ops: the outermost runtime wins, so an experiment
+    unless a retry policy (here or via :func:`configure`) or a
+    ``progress`` hook is given, in which case sweeps run supervised
+    without durability.  Activation is **per thread** — concurrent
+    threads (e.g. the results server computing several cache misses at
+    once) each get their own runtime.  Nested activations on the same
+    thread are no-ops: the outermost runtime wins, so an experiment
     entry point wrapping its body does not disturb a caller's runtime.
     """
-    global _active
-    if _active is not None:  # outermost activation wins
-        yield _active.runtime
+    active = _get_active()
+    if active is not None:  # outermost activation wins
+        yield active.runtime
         return
     store: Optional[CheckpointStore] = None
     if resume is not None:
@@ -391,23 +436,29 @@ def sweep_runtime(
     elif out_dir is not None:
         store = CheckpointStore(out_dir, resume=False)
     policy = retry if retry is not None else _default_policy
-    if store is None and retry is None and not _force_resilient:
+    if (
+        store is None
+        and retry is None
+        and progress is None
+        and not _force_resilient
+    ):
         yield None
         return
-    run = _ActiveRun(SweepRuntime(store=store, retry=policy))
-    _active = run
+    run = _ActiveRun(SweepRuntime(store=store, retry=policy, progress=progress))
+    _set_active(run)
     try:
         yield run.runtime
     finally:
-        _active = None
+        _set_active(None)
         if store is not None:
             store.close()
 
 
 def _claim_sequence() -> int:
-    assert _active is not None
-    seq = _active.next_seq
-    _active.next_seq += 1
+    active = _get_active()
+    assert active is not None
+    seq = active.next_seq
+    active.next_seq += 1
     return seq
 
 
@@ -728,9 +779,11 @@ def execute_sweep(tasks, jobs: Optional[int]):
         resolve_jobs,
     )
 
-    assert _active is not None, "execute_sweep requires an active runtime"
-    runtime = _active.runtime
+    active = _get_active()
+    assert active is not None, "execute_sweep requires an active runtime"
+    runtime = active.runtime
     store, policy = runtime.store, runtime.retry
+    progress = runtime.progress
     seq = _claim_sequence()
 
     done: Dict[int, CompletedPoint] = {}
@@ -738,6 +791,15 @@ def execute_sweep(tasks, jobs: Optional[int]):
         done = store.open_sweep(seq, sweep_fingerprint(tasks), len(tasks))
     todo = [t for t in tasks if t.index not in done]
     labels = {t.index: t.label for t in tasks}
+    if progress is not None:
+        for index in sorted(done):
+            progress({
+                "sweep": seq,
+                "index": index,
+                "label": labels[index],
+                "attempts": done[index].attempts,
+                "resumed": True,
+            })
 
     t0 = time.perf_counter()
     sup: Optional[_Supervisor] = None
@@ -746,22 +808,29 @@ def execute_sweep(tasks, jobs: Optional[int]):
         n_workers = min(resolve_jobs(jobs), len(todo)) or 1
         sup = _Supervisor(todo, n_workers, policy, _pool_context())
 
-        def _checkpoint(index: int, result: dict, w: _Worker) -> None:
-            if store is None:
-                return
-            store.append(
-                seq,
-                index=index,
-                label=labels[index],
-                value_bytes=result["value"],
-                cycles=result["cycles"],
-                setup_s=result["setup_s"],
-                run_s=result["run_s"],
-                attempts=result["attempts"],
-            )
-            w.checkpointed += 1
+        def _on_point_done(index: int, result: dict, w: _Worker) -> None:
+            if store is not None:
+                store.append(
+                    seq,
+                    index=index,
+                    label=labels[index],
+                    value_bytes=result["value"],
+                    cycles=result["cycles"],
+                    setup_s=result["setup_s"],
+                    run_s=result["run_s"],
+                    attempts=result["attempts"],
+                )
+                w.checkpointed += 1
+            if progress is not None:
+                progress({
+                    "sweep": seq,
+                    "index": index,
+                    "label": labels[index],
+                    "attempts": result["attempts"],
+                    "resumed": False,
+                })
 
-        sup.on_success = _checkpoint
+        sup.on_success = _on_point_done
         try:
             sup.run()
         except KeyboardInterrupt:

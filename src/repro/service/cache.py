@@ -1,0 +1,207 @@
+"""Persistent content-addressed result store (:class:`ResultCache`).
+
+The queryable generalization of the resilient runtime's
+:class:`~repro.experiments.resilient.CheckpointStore`: where the
+checkpoint store remembers *partial* progress of one run directory so a
+killed sweep can resume, the result cache remembers *finished*
+experiments forever, keyed by their request fingerprint
+(:mod:`repro.service.fingerprint`).  It shares the checkpoint store's
+durability primitive — :func:`~repro.experiments.resilient.atomic_write_json`,
+write-to-temp + :func:`os.replace` — so readers never observe a torn
+entry, and adds what a cache needs on top:
+
+* **content addressing** — one JSON file per fingerprint, sharded by the
+  first two hex chars (``entries/ab/abcd….json``), so lookups are one
+  ``open()`` and the store needs no index to rebuild;
+* **fingerprint-validated reads** — every entry embeds the canonical
+  request it answers plus a SHA-256 digest of its result payload; a read
+  recomputes both and treats any mismatch (bit rot, truncation, manual
+  tampering, a hash-scheme change) as a **miss**: the poisoned entry is
+  deleted and the experiment recomputed, never served;
+* **exact determinism as the correctness argument** — same fingerprint
+  ⇒ bit-identical result (PRs 1–6), so serving a validated entry is
+  indistinguishable from recomputing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..experiments.resilient import atomic_write_json
+from .fingerprint import canonical_json
+
+__all__ = ["CacheEntry", "PoisonedEntryError", "ResultCache", "payload_digest"]
+
+_ENTRY_VERSION = 1
+
+
+class PoisonedEntryError(RuntimeError):
+    """A stored entry failed validation (corrupt, truncated, or forged)."""
+
+
+def payload_digest(result: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of a result payload."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One validated cache record, as stored on disk.
+
+    ``request`` is the canonical form of the resolved config (class tag
+    + every semantic field — see :func:`repro.service.fingerprint.canonical`),
+    ``result`` the JSON rendering of the :class:`ExperimentResult`, and
+    ``compute`` non-semantic provenance (wall time, sweep shape) that is
+    deliberately excluded from ``sha256``'s coverage — it describes the
+    one computation that produced the entry, not the answer itself.
+    """
+
+    fingerprint: str
+    experiment: str
+    request: Any
+    result: Dict[str, Any]
+    compute: Dict[str, Any]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": _ENTRY_VERSION,
+            "fingerprint": self.fingerprint,
+            "experiment": self.experiment,
+            "request": self.request,
+            "result": self.result,
+            "compute": self.compute,
+            "sha256": payload_digest(self.result),
+        }
+
+
+class ResultCache:
+    """Durable fingerprint -> :class:`CacheEntry` store with validated reads.
+
+    All mutations are atomic (temp file + rename); concurrent readers of
+    an entry being replaced see either the old or the new version.  The
+    ``poisoned`` counter tallies entries that failed validation and were
+    evicted — the server surfaces it as ``service.cache_poisoned``.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.poisoned = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        return self.entries_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries_dir.glob("??/*.json"))
+
+    # ------------------------------------------------------------------
+    def put(self, entry: CacheEntry) -> Path:
+        """Durably store ``entry`` (atomic write; replaces any old entry)."""
+        path = self.path_for(entry.fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(path, entry.to_json(), sort_keys=True, indent=1)
+        return path
+
+    def get(self, fingerprint: str) -> Optional[CacheEntry]:
+        """Validated read: a poisoned entry is evicted and reported a miss.
+
+        Validation re-derives everything the entry claims: the JSON must
+        parse, carry the supported version, name the fingerprint it is
+        filed under, and its result payload must hash to the recorded
+        digest.  Failing any check means the bytes on disk are not the
+        bytes the computation wrote — serving them would break the
+        "cache hit == recomputation" contract, so the entry is deleted
+        and the caller recomputes.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            return self._validate(fingerprint, raw)
+        except PoisonedEntryError:
+            self.poisoned += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover — already evicted
+                pass
+            return None
+
+    def _validate(self, fingerprint: str, raw: bytes) -> CacheEntry:
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise PoisonedEntryError(f"undecodable entry: {exc}") from exc
+        if not isinstance(data, dict):
+            raise PoisonedEntryError("entry is not an object")
+        if data.get("version") != _ENTRY_VERSION:
+            raise PoisonedEntryError(
+                f"unsupported entry version {data.get('version')!r}"
+            )
+        if data.get("fingerprint") != fingerprint:
+            raise PoisonedEntryError(
+                f"entry claims fingerprint {data.get('fingerprint')!r} but "
+                f"is filed under {fingerprint!r}"
+            )
+        result = data.get("result")
+        if not isinstance(result, dict):
+            raise PoisonedEntryError("entry has no result payload")
+        digest = payload_digest(result)
+        if data.get("sha256") != digest:
+            raise PoisonedEntryError(
+                "result payload digest mismatch: entry records "
+                f"{data.get('sha256')!r}, payload hashes to {digest!r}"
+            )
+        return CacheEntry(
+            fingerprint=fingerprint,
+            experiment=str(data.get("experiment", "")),
+            request=data.get("request"),
+            result=result,
+            compute=dict(data.get("compute") or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> Iterator[str]:
+        """All stored fingerprints (unvalidated — validation is on read)."""
+        for path in sorted(self.entries_dir.glob("??/*.json")):
+            yield path.stem
+
+    def index(self) -> Dict[str, str]:
+        """fingerprint -> experiment-name map of every *valid* entry."""
+        out: Dict[str, str] = {}
+        for fp in self.fingerprints():
+            entry = self.get(fp)
+            if entry is not None:
+                out[fp] = entry.experiment
+        return out
+
+
+def make_entry(
+    fingerprint: str,
+    experiment: str,
+    config: Any,
+    result: Dict[str, Any],
+    compute: Dict[str, Any],
+) -> CacheEntry:
+    """Assemble the entry for a freshly computed result."""
+    return CacheEntry(
+        fingerprint=fingerprint,
+        experiment=experiment,
+        request=json.loads(canonical_json(config)),
+        result=result,
+        compute=compute,
+    )

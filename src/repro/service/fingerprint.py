@@ -1,0 +1,274 @@
+"""Canonical experiment-request fingerprints (the cache key).
+
+A service request names an experiment plus an optional config.  This
+module turns that pair into a **content fingerprint** with three
+properties the cache and the in-flight deduplicator rely on:
+
+* **Canonical.**  The JSON config dict is first built into the
+  experiment's frozen config dataclass (:func:`build_config`) and then
+  re-serialized field by field in sorted-key order
+  (:func:`canonical`), so spelling differences in the request — key
+  order, lists vs tuples, an explicitly-spelled default vs an omitted
+  field vs ``config: null`` — all collapse to the same bytes.
+* **Semantic-only.**  Execution knobs that are *bit-identity neutral*
+  never reach the fingerprint: ``jobs`` (``tests/test_parallel.py``
+  pins serial == parallel), ``stream``, retry policy, checkpoint
+  directories.  Two requests that differ only in those fields hash
+  identically and share one cache entry (:data:`NON_SEMANTIC_KEYS`).
+* **Complete.**  Every semantic field of the config dataclass is
+  hashed, including nested dataclasses (``FaultSweepConfig.latency``,
+  ``MTTFConfig.geom``, …) and the ``seed`` override — any change that
+  could change the simulated result changes the fingerprint.
+
+Determinism makes this sound: PRs 1–6 pinned every experiment to be a
+pure function of its config (serial == parallel == resumed == event
+engine == reference stepper, all bit-identical), so one fingerprint maps
+to exactly one result and a cache hit is indistinguishable from a
+recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+from hashlib import sha256
+from typing import Any, Dict, Mapping, Optional
+
+from ..experiments import (
+    design_space,
+    detection_latency,
+    energy,
+    fault_sweep,
+    latency,
+    load_latency,
+    mttf,
+    mttf_sensitivity,
+    network_reliability,
+    reliability_curves,
+    spf_sweep,
+    table3,
+)
+from ..experiments.report import override_seed
+from ..reliability.stages import RouterGeometry
+
+__all__ = [
+    "CONFIG_TYPES",
+    "NON_SEMANTIC_KEYS",
+    "RequestError",
+    "build_config",
+    "canonical",
+    "canonical_json",
+    "effective_config",
+    "request_fingerprint",
+]
+
+
+class RequestError(ValueError):
+    """A request names an unknown experiment / malformed config."""
+
+
+#: experiment name -> its unified-API config dataclass (mirrors
+#: ``repro.experiments.runner.EXPERIMENTS``; the analytic geometry-only
+#: experiments all take a RouterGeometry as their whole config)
+CONFIG_TYPES: Dict[str, type] = {
+    "table1": RouterGeometry,
+    "table2": RouterGeometry,
+    "area_power": RouterGeometry,
+    "critical_path": RouterGeometry,
+    "mttf": mttf.MTTFConfig,
+    "mttf_sensitivity": mttf_sensitivity.MTTFSensitivityConfig,
+    "table3": table3.Table3Config,
+    "spf_sweep": spf_sweep.SPFSweepConfig,
+    "fig7": latency.SuiteRunConfig,
+    "fig8": latency.SuiteRunConfig,
+    "load_latency": load_latency.LoadLatencyConfig,
+    "network_reliability": network_reliability.NetworkReliabilityConfig,
+    "reliability_curves": reliability_curves.ReliabilityCurvesConfig,
+    "energy": energy.EnergyConfig,
+    "detection_latency": detection_latency.DetectionLatencyConfig,
+    "fault_sweep": fault_sweep.FaultSweepConfig,
+    "design_space": design_space.DesignSpaceConfig,
+}
+
+#: request keys that never affect the computed result (and therefore
+#: never reach the fingerprint): parallelism is a pure wall-clock knob
+#: (serial == parallel, bit-identical), streaming is a transport choice
+NON_SEMANTIC_KEYS = frozenset({"jobs", "stream"})
+
+_SCALARS = (int, float, str, bool)
+
+
+def _unwrap_optional(tp: Any) -> Any:
+    """``Optional[X]``/``X | None`` -> ``X`` (unions beyond that kept)."""
+    origin = typing.get_origin(tp)
+    if origin is typing.Union or origin is getattr(types, "UnionType", None):
+        args = [a for a in typing.get_args(tp) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return tp
+
+
+def _field_types(cls: type) -> Dict[str, Any]:
+    """Resolved (PEP 563-safe) field name -> type map of a dataclass."""
+    try:
+        return typing.get_type_hints(cls)
+    except Exception:  # pragma: no cover — unresolvable forward ref
+        return {f.name: f.type for f in dataclasses.fields(cls)}
+
+
+def build_config(name: str, data: Optional[Mapping[str, Any]]) -> Any:
+    """Build experiment ``name``'s frozen config dataclass from JSON.
+
+    ``data`` maps field names to values; nested dataclass fields accept
+    nested dicts, tuple fields accept JSON lists.  ``None``/``{}`` mean
+    "the experiment's defaults".  Unknown experiments, unknown fields,
+    and uncoercible values raise :class:`RequestError` (the server maps
+    it to HTTP 400).
+    """
+    cls = CONFIG_TYPES.get(name)
+    if cls is None:
+        raise RequestError(
+            f"unknown experiment {name!r}; available: {sorted(CONFIG_TYPES)}"
+        )
+    if not data:
+        return None
+    return _build(cls, data, where=name)
+
+
+def _build(cls: type, data: Mapping[str, Any], where: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise RequestError(
+            f"{where}: expected an object for {cls.__name__}, "
+            f"got {type(data).__name__}"
+        )
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(fields)
+    if unknown:
+        raise RequestError(
+            f"{where}: unknown {cls.__name__} field(s) {sorted(unknown)}; "
+            f"valid fields: {sorted(fields)}"
+        )
+    types = _field_types(cls)
+    kwargs: Dict[str, Any] = {}
+    for key, raw in data.items():
+        kwargs[key] = _coerce(
+            raw, _unwrap_optional(types.get(key, Any)), f"{where}.{key}"
+        )
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"{where}: invalid {cls.__name__}: {exc}") from exc
+
+
+def _coerce(value: Any, tp: Any, where: str) -> Any:
+    if value is None:
+        return None
+    if dataclasses.is_dataclass(tp) and isinstance(tp, type):
+        if isinstance(value, tp):
+            return value
+        return _build(tp, value, where)
+    if typing.get_origin(tp) is tuple or tp is tuple:
+        if isinstance(value, (list, tuple)):
+            return tuple(value)
+        raise RequestError(
+            f"{where}: expected a list, got {type(value).__name__}"
+        )
+    if isinstance(value, list):
+        # untyped/Any sequence fields: JSON has no tuples, configs do
+        return tuple(value)
+    if isinstance(value, _SCALARS) or isinstance(value, Mapping):
+        return value
+    raise RequestError(
+        f"{where}: unsupported value {value!r}"
+    )
+
+
+def canonical(obj: Any) -> Any:
+    """Recursively reduce a config object to JSON-ready builtins.
+
+    Dataclasses become ``{"__config__": ClassName, **fields}`` dicts (the
+    class tag keeps two structurally-identical but differently-typed
+    configs apart), tuples become lists.  Raises :class:`RequestError`
+    on anything that cannot be represented — an unhashable config must
+    not silently collide.
+    """
+    if obj is None or isinstance(obj, _SCALARS):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, Any] = {"__config__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, Mapping):
+        return {str(k): canonical(obj[k]) for k in sorted(obj)}
+    raise RequestError(
+        f"config value {obj!r} ({type(obj).__name__}) is not fingerprintable"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical bytes that get hashed (also stored in cache entries)."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def effective_config(
+    name: str,
+    config: Any = None,
+    *,
+    quick: bool = False,
+    seed: Optional[int] = None,
+) -> tuple[Any, Optional[int]]:
+    """Resolve a request to the exact config object ``run()`` will see.
+
+    Applies the same defaulting the CLI does — ``quick`` selects the
+    registry's quick config, a missing config falls back to the config
+    class's own defaults — then folds ``seed`` into the config when it
+    has a ``seed`` field.  Returns ``(config, residual_seed)`` where
+    ``residual_seed`` is non-None only for configs without a seed field
+    (it is still passed to ``run(seed=...)`` and still fingerprinted).
+
+    Resolving *before* fingerprinting is what makes ``config: null``,
+    ``config: {}`` and an explicitly-spelled all-defaults config hash
+    identically: they are the same computation.
+    """
+    from ..experiments.runner import EXPERIMENTS, ExperimentEntry
+
+    if isinstance(config, Mapping) or config is None:
+        config = build_config(name, config)
+    if config is None:
+        entry = EXPERIMENTS.get(name)
+        if isinstance(entry, ExperimentEntry):
+            factory = entry.quick_config if quick else entry.default_config
+            config = factory()
+    if config is None:
+        config = CONFIG_TYPES[name]()
+    folded = override_seed(config, seed)
+    residual_seed = seed if (seed is not None and folded is config) else None
+    return folded, residual_seed
+
+
+def request_fingerprint(
+    name: str, config: Any, *, seed: Optional[int] = None
+) -> str:
+    """Content fingerprint (64 hex chars) of one resolved request.
+
+    ``config`` must already be the *effective* config object (see
+    :func:`effective_config`); ``seed`` is the residual seed for configs
+    that have no seed field.  Same fingerprint ⇒ bit-identical result.
+    """
+    if name not in CONFIG_TYPES:
+        raise RequestError(
+            f"unknown experiment {name!r}; available: {sorted(CONFIG_TYPES)}"
+        )
+    payload = {
+        "v": 1,
+        "experiment": name,
+        "config": canonical(config),
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode()).hexdigest()

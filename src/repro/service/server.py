@@ -1,0 +1,536 @@
+"""The asyncio results server (stdlib-only HTTP/1.1).
+
+One :class:`SweepService` owns a :class:`~repro.service.cache.ResultCache`,
+an in-flight table, and a metrics registry.  The request path for
+``POST /v1/sweeps``:
+
+1. canonicalize the JSON body into the experiment's frozen config
+   dataclass and fingerprint it (:mod:`repro.service.fingerprint`);
+2. **hit** — a validated cache entry exists: serve it (no simulation);
+3. **join** — the same fingerprint is already being computed: subscribe
+   to the existing computation instead of starting a second one (N
+   concurrent identical requests run the sweep exactly once);
+4. **miss** — start the computation on a worker thread, inside the
+   resilient sweep runtime (supervised worker processes, retries,
+   watchdogs — :mod:`repro.experiments.resilient`), store the entry,
+   then answer everyone subscribed.
+
+Clients that set ``"stream": true`` get a chunked NDJSON response:
+completed sweep points as they finish (via the resilient runtime's
+per-point progress hook), then the final result.  Because scheduling
+between cache check and in-flight registration never awaits, the
+hit/join/miss decision is atomic on the event loop.
+
+Counters (``service.requests``, ``service.cache_hits``,
+``service.cache_misses``, ``service.dedup_joined``,
+``service.computations``, ``service.cache_poisoned``, …) live in an
+observability :class:`~repro.observability.metrics.MetricsRegistry`
+exposed at ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+import traceback
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..experiments.parallel import PartialSweepError
+from ..experiments.resilient import RetryPolicy, sweep_runtime
+from ..observability.metrics import MetricsRegistry
+from .cache import ResultCache, make_entry
+from .fingerprint import (
+    CONFIG_TYPES,
+    RequestError,
+    effective_config,
+    request_fingerprint,
+)
+from .results import render_result
+
+__all__ = ["SweepService"]
+
+_MAX_BODY = 4 << 20  # a config JSON has no business being larger
+_EOF = object()
+
+
+class _ComputeError(RuntimeError):
+    """A computation failed; carries the HTTP payload for subscribers."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(payload.get("error", "computation failed"))
+        self.status = status
+        self.payload = payload
+
+
+class _InFlight:
+    """One running computation plus its streaming subscribers."""
+
+    __slots__ = ("task", "subscribers")
+
+    def __init__(self) -> None:
+        self.task: Optional[asyncio.Task] = None
+        self.subscribers: Set[asyncio.Queue] = set()
+
+
+class SweepService:
+    """The server object: routing, dedup, cache, and metrics.
+
+    ``jobs`` is the default per-computation worker-process count,
+    ``retry`` the resilient runtime policy applied to every computation,
+    and ``max_concurrent`` caps how many distinct fingerprints compute
+    at once (requests beyond the cap queue on the semaphore; identical
+    requests never queue — they join the in-flight computation).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        *,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_concurrent: int = 1,
+        quick_default: bool = False,
+    ) -> None:
+        self.cache = ResultCache(cache_dir)
+        self.jobs = jobs
+        self.retry = retry or RetryPolicy(max_attempts=2)
+        self.quick_default = quick_default
+        self.registry = MetricsRegistry()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._slots = asyncio.Semaphore(max(1, max_concurrent))
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and start serving; returns the bound port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, body = request
+                await self._route(writer, method, path, body)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; any shared computation keeps running
+        except Exception:  # pragma: no cover — defensive
+            traceback.print_exc()
+            try:
+                await self._respond(writer, 500, {"error": "internal error"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > _MAX_BODY:
+            raise ConnectionError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+
+    async def _start_stream(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+    async def _send_event(
+        self, writer: asyncio.StreamWriter, event: Dict[str, Any]
+    ) -> None:
+        line = (json.dumps(event, sort_keys=True) + "\n").encode()
+        writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        await writer.drain()
+
+    async def _end_stream(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            await self._respond(writer, 200, {"ok": True})
+        elif method == "GET" and path == "/v1/stats":
+            await self._respond(writer, 200, self._stats())
+        elif method == "GET" and path == "/v1/experiments":
+            await self._respond(writer, 200, self._catalog())
+        elif method == "GET" and path.startswith("/v1/results/"):
+            await self._get_result(writer, path.rsplit("/", 1)[1])
+        elif method == "GET" and path == "/v1/results":
+            await self._respond(writer, 200, {"results": self.cache.index()})
+        elif method == "POST" and path == "/v1/sweeps":
+            await self._post_sweep(writer, body)
+        else:
+            await self._respond(
+                writer, 404, {"error": f"no route {method} {path}"}
+            )
+
+    def _stats(self) -> Dict[str, Any]:
+        snap = self.registry.snapshot()
+        return {
+            "counters": snap["counters"],
+            "inflight": len(self._inflight),
+            "cache_entries": len(self.cache),
+            "cache_poisoned": self.cache.poisoned,
+        }
+
+    def _catalog(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name, cls in sorted(CONFIG_TYPES.items()):
+            out[name] = {
+                "config": cls.__name__,
+                "fields": {
+                    f.name: repr(f.default)
+                    if f.default is not dataclasses.MISSING
+                    else None
+                    for f in dataclasses.fields(cls)
+                },
+            }
+        return {"experiments": out}
+
+    async def _get_result(
+        self, writer: asyncio.StreamWriter, fingerprint: str
+    ) -> None:
+        entry = self.cache.get(fingerprint)
+        if entry is None:
+            await self._respond(
+                writer, 404, {"error": f"no result for {fingerprint!r}"}
+            )
+        else:
+            await self._respond(
+                writer, 200, {"cached": True, **entry.to_json()}
+            )
+
+    # ------------------------------------------------------------------
+    # the sweep endpoint
+    # ------------------------------------------------------------------
+    async def _post_sweep(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        self.registry.inc("service.requests")
+        try:
+            req = json.loads(body.decode() or "{}")
+            if not isinstance(req, dict):
+                raise RequestError("request body must be a JSON object")
+            name = req.get("experiment")
+            if not isinstance(name, str):
+                raise RequestError("missing 'experiment' (string)")
+            seed = req.get("seed")
+            if seed is not None and not isinstance(seed, int):
+                raise RequestError("'seed' must be an integer")
+            config, residual_seed = effective_config(
+                name,
+                req.get("config"),
+                quick=bool(req.get("quick", self.quick_default)),
+                seed=seed,
+            )
+            fingerprint = request_fingerprint(
+                name, config, seed=residual_seed
+            )
+        except RequestError as exc:
+            self.registry.inc("service.bad_requests")
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            self.registry.inc("service.bad_requests")
+            await self._respond(writer, 400, {"error": f"bad JSON: {exc}"})
+            return
+        stream = bool(req.get("stream", False))
+        jobs = req.get("jobs", self.jobs)
+
+        # hit / join / miss — no await between the checks, so the
+        # decision is atomic on the event loop and a fingerprint can
+        # never be computed twice concurrently
+        entry = self.cache.get(fingerprint)
+        if entry is not None:
+            self.registry.inc("service.cache_hits")
+            await self._answer(writer, stream, entry.to_json(), cached=True)
+            return
+        self.registry.inc("service.cache_misses")
+        flight = self._inflight.get(fingerprint)
+        if flight is None:
+            flight = _InFlight()
+            self._inflight[fingerprint] = flight
+            flight.task = asyncio.create_task(
+                self._compute(fingerprint, name, config, residual_seed, jobs)
+            )
+            # a disconnected client must not leave the shared task's
+            # exception unretrieved
+            flight.task.add_done_callback(
+                lambda t: t.exception() if not t.cancelled() else None
+            )
+            self.registry.inc("service.computations")
+            self.registry.set_gauge(
+                "service.inflight", len(self._inflight)
+            )
+        else:
+            self.registry.inc("service.dedup_joined")
+
+        if stream:
+            await self._stream_answer(writer, fingerprint, flight)
+        else:
+            await self._plain_answer(writer, flight)
+
+    async def _plain_answer(
+        self, writer: asyncio.StreamWriter, flight: _InFlight
+    ) -> None:
+        try:
+            entry_json = await asyncio.shield(flight.task)
+        except _ComputeError as exc:
+            await self._respond(writer, exc.status, exc.payload)
+            return
+        await self._answer(writer, False, entry_json, cached=False)
+
+    async def _stream_answer(
+        self,
+        writer: asyncio.StreamWriter,
+        fingerprint: str,
+        flight: _InFlight,
+    ) -> None:
+        queue: asyncio.Queue = asyncio.Queue()
+        flight.subscribers.add(queue)
+        try:
+            await self._start_stream(writer)
+            await self._send_event(
+                writer,
+                {
+                    "event": "accepted",
+                    "fingerprint": fingerprint,
+                    "cached": False,
+                },
+            )
+            while True:
+                item = await queue.get()
+                if item is _EOF:
+                    break
+                await self._send_event(writer, {"event": "point", **item})
+            try:
+                entry_json = await asyncio.shield(flight.task)
+                await self._send_event(
+                    writer,
+                    {"event": "result", "cached": False, **entry_json},
+                )
+            except _ComputeError as exc:
+                await self._send_event(
+                    writer,
+                    {"event": "error", "status": exc.status, **exc.payload},
+                )
+            await self._end_stream(writer)
+        finally:
+            flight.subscribers.discard(queue)
+
+    async def _answer(
+        self,
+        writer: asyncio.StreamWriter,
+        stream: bool,
+        entry_json: Dict[str, Any],
+        *,
+        cached: bool,
+    ) -> None:
+        if stream:
+            await self._start_stream(writer)
+            await self._send_event(
+                writer,
+                {
+                    "event": "accepted",
+                    "fingerprint": entry_json["fingerprint"],
+                    "cached": cached,
+                },
+            )
+            await self._send_event(
+                writer, {"event": "result", "cached": cached, **entry_json}
+            )
+            await self._end_stream(writer)
+        else:
+            await self._respond(writer, 200, {"cached": cached, **entry_json})
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+    def _publish(self, fingerprint: str, item: Any) -> None:
+        if item is not _EOF:
+            self.registry.inc("service.points_completed")
+        flight = self._inflight.get(fingerprint)
+        if flight is None:
+            return
+        for queue in list(flight.subscribers):
+            queue.put_nowait(item)
+
+    async def _compute(
+        self,
+        fingerprint: str,
+        name: str,
+        config: Any,
+        residual_seed: Optional[int],
+        jobs: Optional[int],
+    ) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+
+        def progress(event: Dict[str, Any]) -> None:
+            # called on the supervisor thread — hop onto the event loop
+            loop.call_soon_threadsafe(self._publish, fingerprint, event)
+
+        def work() -> Any:
+            from ..experiments.runner import EXPERIMENTS
+
+            entry = EXPERIMENTS[name]
+            module = getattr(entry, "module", None)
+            with sweep_runtime(retry=self.retry, progress=progress):
+                if module is not None:
+                    return module.run(
+                        config, jobs=jobs, seed=residual_seed
+                    )
+                return entry(False, jobs)  # registry shim (tests)
+
+        try:
+            async with self._slots:
+                t0 = time.perf_counter()
+                try:
+                    result = await asyncio.to_thread(work)
+                except PartialSweepError as exc:
+                    self.registry.inc("service.partial_failures")
+                    raise _ComputeError(
+                        503,
+                        {
+                            "error": "partial sweep: retries exhausted on "
+                            "some points; result not cached",
+                            "experiment": name,
+                            "fingerprint": fingerprint,
+                            "report": exc.report.format(),
+                        },
+                    ) from exc
+                except Exception as exc:
+                    self.registry.inc("service.failures")
+                    raise _ComputeError(
+                        500,
+                        {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "experiment": name,
+                            "fingerprint": fingerprint,
+                        },
+                    ) from exc
+                wall_s = time.perf_counter() - t0
+                payload, sweep = render_result(result)
+                compute = {"wall_s": round(wall_s, 6), "jobs": jobs}
+                if sweep is not None:
+                    compute["sweep"] = sweep
+                entry = make_entry(
+                    fingerprint, name, config, payload, compute
+                )
+                self.cache.put(entry)
+                return entry.to_json()
+        finally:
+            self._publish(fingerprint, _EOF)
+            self._inflight.pop(fingerprint, None)
+            self.registry.set_gauge("service.inflight", len(self._inflight))
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def serve(
+    host: str,
+    port: int,
+    cache_dir: str,
+    *,
+    jobs: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_concurrent: int = 1,
+    ready_line: bool = True,
+) -> None:
+    """Entry point used by ``python -m repro.service``: serve until cancelled."""
+    service = SweepService(
+        cache_dir, jobs=jobs, retry=retry, max_concurrent=max_concurrent
+    )
+    bound = await service.start(host, port)
+    if ready_line:
+        print(
+            f"repro.service listening on http://{host}:{bound} "
+            f"(cache: {cache_dir})",
+            flush=True,
+        )
+    try:
+        await service.serve_forever()
+    finally:
+        await service.close()

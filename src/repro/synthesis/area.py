@@ -12,7 +12,6 @@ from dataclasses import dataclass
 
 from ..reliability.stages import RouterGeometry
 from .netlists import (
-    RouterNetlist,
     baseline_netlist,
     correction_netlist,
     detection_netlist,

@@ -1,0 +1,386 @@
+"""Tests for the sweep-as-a-service layer (:mod:`repro.service`).
+
+Three groups:
+
+* **cache-key soundness** — the fingerprint must ignore exactly the
+  non-semantic fields (``jobs``, ``stream``, spelling differences) and
+  react to every semantic one (any config field, nested or not, and the
+  seed);
+* **ResultCache** — atomic persistence, fingerprint-validated reads,
+  poisoned-entry eviction;
+* **server end-to-end** — an in-process asyncio server driven by the
+  stdlib client: cold compute, warm hit, in-flight dedup, streaming,
+  poisoning recovery, and error paths.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.fault_sweep import FaultSweepConfig
+from repro.experiments.latency import LatencyConfig
+from repro.service import (
+    ResultCache,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    build_config,
+    effective_config,
+    request_fingerprint,
+)
+from repro.service.cache import make_entry
+from repro.service.fingerprint import RequestError, canonical
+
+#: a deliberately tiny fault sweep: two points, sub-second each
+TINY = {
+    "fault_counts": [0, 2],
+    "latency": {
+        "width": 4,
+        "height": 4,
+        "warmup_cycles": 50,
+        "measure_cycles": 300,
+        "drain_cycles": 500,
+        "num_faults": 8,
+    },
+}
+
+
+def _fp(name, config=None, seed=None, quick=False):
+    cfg, residual = effective_config(name, config, quick=quick, seed=seed)
+    return request_fingerprint(name, cfg, seed=residual)
+
+
+# ----------------------------------------------------------------------
+# cache-key soundness
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_spelling_differences_hash_identically(self):
+        """Key order, list-vs-tuple, dict-vs-dataclass: same key."""
+        a = _fp("fault_sweep", TINY)
+        reordered = {k: TINY[k] for k in reversed(list(TINY))}
+        assert _fp("fault_sweep", reordered) == a
+        as_dataclass = FaultSweepConfig(
+            fault_counts=(0, 2),
+            latency=LatencyConfig(
+                width=4, height=4, warmup_cycles=50, measure_cycles=300,
+                drain_cycles=500, num_faults=8,
+            ),
+        )
+        assert _fp("fault_sweep", as_dataclass) == a
+
+    def test_explicit_defaults_equal_omitted_fields(self):
+        """config: null == config: {} == all-defaults spelled out."""
+        base = _fp("load_latency")
+        assert _fp("load_latency", {}) == base
+        spelled = {
+            "rates": [0.05, 0.10, 0.15, 0.20, 0.25],
+            "width": 4, "height": 4, "num_faults": 48,
+            "seed": 1, "measure": 3000,
+        }
+        assert _fp("load_latency", spelled) == base
+
+    def test_non_semantic_request_fields_do_not_reach_the_key(self):
+        """jobs/stream are transport/execution knobs: results are
+        bit-identical regardless (pinned by tests/test_parallel.py), so
+        requests differing only there must share one cache entry."""
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                a = await client.sweep("fault_sweep", TINY, jobs=1)
+                b = await client.sweep(
+                    "fault_sweep", TINY, jobs=2, stream=True
+                )
+                assert a["fingerprint"] == b["fingerprint"]
+                assert b["cached"] is True  # second request was a hit
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+    def test_every_semantic_field_changes_the_key(self):
+        base = _fp("fault_sweep", TINY)
+        top = dict(TINY)
+        top["fault_counts"] = [0, 3]
+        assert _fp("fault_sweep", top) != base
+        app = dict(TINY)
+        app["app"] = "fft"
+        assert _fp("fault_sweep", app) != base
+        nested = json.loads(json.dumps(TINY))
+        nested["latency"]["measure_cycles"] = 301
+        assert _fp("fault_sweep", nested) != base
+
+    def test_seed_override_changes_the_key(self):
+        assert _fp("fault_sweep", TINY, seed=2) != _fp("fault_sweep", TINY)
+        # when the config carries a top-level seed field the override
+        # folds into it — the two spellings are one request
+        assert _fp("load_latency", seed=7) == _fp("load_latency", {"seed": 7})
+        assert _fp("load_latency", seed=7) != _fp("load_latency")
+
+    def test_quick_flag_resolves_to_the_quick_config(self):
+        assert _fp("fault_sweep", quick=True) == _fp(
+            "fault_sweep", {"fault_counts": [0, 8, 24]}
+        )
+
+    def test_experiment_name_is_part_of_the_key(self):
+        assert _fp("fig7") != _fp("fig8")
+
+    def test_unknown_experiment_and_fields_rejected(self):
+        with pytest.raises(RequestError):
+            _fp("fig9000")
+        with pytest.raises(RequestError):
+            build_config("fault_sweep", {"fault_count": [1]})  # typo
+        with pytest.raises(RequestError):
+            build_config("fault_sweep", {"latency": {"widht": 4}})
+
+    def test_canonical_tags_the_config_class(self):
+        """Structurally identical configs of different types must not
+        collide (table1 and table2 both take a RouterGeometry — the
+        experiment name separates those; the class tag separates any
+        future same-shape config pairs)."""
+        c = canonical(FaultSweepConfig())
+        assert c["__config__"] == "FaultSweepConfig"
+
+
+# ----------------------------------------------------------------------
+# ResultCache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def _entry(self, fp="ab" + "0" * 62):
+        cfg, _ = effective_config("fault_sweep", TINY)
+        return make_entry(
+            fp, "fault_sweep", cfg,
+            {"experiment": "fault_sweep", "rows": [{"label": "x"}]},
+            {"wall_s": 1.0},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = self._entry()
+        cache.put(entry)
+        assert entry.fingerprint in cache
+        got = cache.get(entry.fingerprint)
+        assert got is not None
+        assert got.result == entry.result
+        assert got.request == entry.request
+        assert len(cache) == 1
+        assert cache.index() == {entry.fingerprint: "fault_sweep"}
+
+    def test_missing_is_a_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("ff" + "0" * 62) is None
+
+    @pytest.mark.parametrize(
+        "poison",
+        [
+            b"",                                    # truncated to nothing
+            b"{\"version\": 1",                    # torn JSON
+            b"not json at all",
+            json.dumps({"version": 99}).encode(),   # future version
+        ],
+    )
+    def test_poisoned_entries_evicted(self, tmp_path, poison):
+        cache = ResultCache(tmp_path)
+        entry = self._entry()
+        path = cache.put(entry)
+        path.write_bytes(poison)
+        assert cache.get(entry.fingerprint) is None
+        assert cache.poisoned == 1
+        assert not path.exists()  # evicted, next request recomputes
+
+    def test_tampered_payload_detected(self, tmp_path):
+        """Flipping a result value breaks the recorded digest."""
+        cache = ResultCache(tmp_path)
+        entry = self._entry()
+        path = cache.put(entry)
+        data = json.loads(path.read_bytes())
+        data["result"]["rows"][0]["label"] = "forged"
+        path.write_text(json.dumps(data))
+        assert cache.get(entry.fingerprint) is None
+        assert cache.poisoned == 1
+
+    def test_misfiled_entry_detected(self, tmp_path):
+        """An entry served under the wrong fingerprint is poison too."""
+        cache = ResultCache(tmp_path)
+        entry = self._entry()
+        src = cache.put(entry)
+        other = "cd" + "1" * 62
+        dst = cache.path_for(other)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(src.read_bytes())
+        assert cache.get(other) is None
+        assert cache.get(entry.fingerprint) is not None
+
+
+# ----------------------------------------------------------------------
+# server end-to-end
+# ----------------------------------------------------------------------
+async def _start_service_tmp(**kwargs):
+    import tempfile
+
+    tmp = tempfile.mkdtemp(prefix="repro-service-")
+    service = SweepService(tmp, **kwargs)
+    port = await service.start()
+    return service, ServiceClient("127.0.0.1", port)
+
+
+class TestServer:
+    def test_cold_then_warm_bit_identical(self):
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                cold = await client.sweep("fault_sweep", TINY)
+                assert cold["cached"] is False
+                warm = await client.sweep("fault_sweep", TINY)
+                assert warm["cached"] is True
+                assert warm["result"] == cold["result"]
+                assert warm["sha256"] == cold["sha256"]
+                fetched = await client.result(cold["fingerprint"])
+                assert fetched["result"] == cold["result"]
+                stats = await client.stats()
+                counters = stats["counters"]
+                assert counters["service.computations"] == 1
+                assert counters["service.cache_hits"] == 1
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+    def test_result_matches_direct_run(self):
+        """The determinism contract end to end: the service's rendered
+        rows equal a direct in-process run of the same config."""
+        from repro.experiments import fault_sweep
+        from repro.service.results import render_result
+
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                reply = await client.sweep("fault_sweep", TINY)
+            finally:
+                await service.close()
+            return reply
+
+        reply = asyncio.run(run())
+        cfg, _ = effective_config("fault_sweep", TINY)
+        direct, _sweep = render_result(fault_sweep.run(cfg))
+        assert reply["result"]["rows"] == direct["rows"]
+        assert reply["result"]["text"] == direct["text"]
+
+    def test_inflight_dedup_computes_once(self):
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                n = 5
+                replies = await asyncio.gather(
+                    *[client.sweep("fault_sweep", TINY) for _ in range(n)]
+                )
+                assert len({r["sha256"] for r in replies}) == 1
+                stats = await client.stats()
+                counters = stats["counters"]
+                assert counters["service.computations"] == 1
+                assert counters["service.dedup_joined"] == n - 1
+                assert counters["service.cache_misses"] == n
+                assert stats["inflight"] == 0  # drained afterwards
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+    def test_streaming_points_arrive_before_the_result(self):
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                points = []
+                reply = await client.sweep(
+                    "fault_sweep", TINY, stream=True,
+                    on_point=points.append,
+                )
+                assert reply["points_streamed"] == len(points) == 2
+                labels = {p["label"] for p in points}
+                assert labels == {"ocean@0faults", "ocean@2faults"}
+                assert reply["result"]["rows"]
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+    def test_poisoned_cache_recomputes(self):
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                cold = await client.sweep("fault_sweep", TINY)
+                path = service.cache.path_for(cold["fingerprint"])
+                path.write_text("garbage, as if the disk bit-rotted")
+                again = await client.sweep("fault_sweep", TINY)
+                assert again["cached"] is False  # poison never served
+                assert again["result"] == cold["result"]
+                stats = await client.stats()
+                assert stats["cache_poisoned"] == 1
+                assert stats["counters"]["service.computations"] == 2
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+    def test_error_paths(self):
+        async def run():
+            service, client = await _start_service_tmp()
+            try:
+                with pytest.raises(ServiceError) as err:
+                    await client.sweep("fig9000")
+                assert err.value.status == 400
+                with pytest.raises(ServiceError) as err:
+                    await client.sweep(
+                        "fault_sweep", {"no_such_field": 1}
+                    )
+                assert err.value.status == 400
+                assert await client.result("ab" + "0" * 62) is None
+                catalog = await client.experiments()
+                assert "fault_sweep" in catalog
+                assert catalog["fault_sweep"]["config"] == "FaultSweepConfig"
+            finally:
+                await service.close()
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# thread-local runtime activation (the seam the server relies on)
+# ----------------------------------------------------------------------
+class TestThreadLocalRuntime:
+    def test_concurrent_threads_get_independent_runtimes(self, tmp_path):
+        """Two threads installing sweep runtimes concurrently must not
+        share state — before the thread-local fix the second thread
+        silently joined the first thread's runtime (and would have
+        checkpointed into its store)."""
+        import threading
+
+        from repro.experiments.resilient import active_runtime, sweep_runtime
+
+        seen = {}
+        barrier = threading.Barrier(2, timeout=10)
+
+        def worker(name, out_dir):
+            with sweep_runtime(out_dir=out_dir):
+                barrier.wait()  # both runtimes installed at once
+                seen[name] = active_runtime().store.path
+                barrier.wait()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(i, tmp_path / f"run{i}")
+            )
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert seen[0] != seen[1]
+        assert active_runtime() is None  # main thread untouched
+
+    def test_progress_hook_fires_per_point(self):
+        from repro.experiments import fault_sweep
+        from repro.experiments.resilient import sweep_runtime
+
+        events = []
+        cfg, _ = effective_config("fault_sweep", TINY)
+        with sweep_runtime(progress=events.append):
+            fault_sweep.run(cfg, jobs=2)
+        assert {e["label"] for e in events} == {
+            "ocean@0faults", "ocean@2faults"
+        }
+        assert all(e["resumed"] is False for e in events)
