@@ -1,0 +1,152 @@
+"""Engineering benchmark: the batched lane engine vs per-lane event runs.
+
+Not a paper artefact — pins the throughput win the flat-NumPy lane
+engine (:mod:`repro.network.batched`) buys on the workload it exists
+for: a Figure 7-style sweep of many short, structurally identical
+simulations.  64 lanes (8x8 protected mesh, coherence mix, rates
+spanning the pre-saturation range, half the lanes carrying tolerated
+fault schedules) run once each through
+
+* the **event engine** — one warm fabric per lane, run serially; and
+* the **batched engine** — all 64 lanes stepped together as flat
+  ``(lanes, routers, ports, vcs)`` state arrays.
+
+The acceptance floor is a >= 3x aggregate points-per-second speedup.
+As everywhere else in this suite, the speedup must come from batching,
+not divergence: every lane's result is asserted bit-identical between
+the two engines (cycle counts, drain status, full latency/throughput
+summary, router-stat counters) before any timing is trusted.
+
+Set ``REPRO_BENCH_JSON=<path>`` to write the measurements as JSON (the
+CI job uploads it as the ``BENCH_batched_engine.json`` artifact and
+gates it with ``compare_bench.py``).
+"""
+
+import json
+import os
+import time
+from dataclasses import asdict
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.faults.injector import spawn_lane_injectors
+from repro.network.batched import LaneSpec, run_lanes, supports
+from repro.network.simulator import NoCSimulator
+from repro.traffic.generator import COHERENCE_MIX, SyntheticTraffic
+
+LANES = 64
+NET = NetworkConfig(
+    width=8, height=8, router=RouterConfig(num_vcs=4, num_vnets=2)
+)
+FACTORY = protected_router_factory(NET)
+SIM = SimulationConfig(
+    warmup_cycles=50,
+    measure_cycles=400,
+    drain_cycles=1000,
+    seed=7,
+    watchdog_cycles=4000,
+)
+RATES = [0.02 + 0.005 * i for i in range(LANES)]
+
+
+def _write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON", "")
+    if not path:
+        return
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as fp:
+            existing = json.load(fp)
+    existing.update(payload)
+    with open(path, "w") as fp:
+        json.dump(existing, fp, indent=2, sort_keys=True)
+
+
+def _lane_inputs():
+    """Per-lane traffic + fault schedules, identical for both engines.
+
+    Every odd lane carries a tolerated-fault schedule (the Figure 7
+    "faulty" flavour); seeds derive from ``SeedSequence.spawn`` so each
+    lane's streams are independent of how lanes are grouped.
+    """
+    schedules = spawn_lane_injectors(
+        NET.router, NET.num_nodes, LANES, mean_interval=40.0, num_faults=8,
+        rng=2024, first_fault_at=50, avoid_failure=True,
+    )
+    lanes = []
+    for i, rate in enumerate(RATES):
+        traffic = SyntheticTraffic(
+            NET, injection_rate=rate, mix=COHERENCE_MIX, rng=1000 + i
+        )
+        lanes.append(LaneSpec(traffic, schedules[i] if i % 2 else None))
+    return lanes
+
+
+def _event_results():
+    out = []
+    for spec in _lane_inputs():
+        sim = NoCSimulator(
+            NET, SIM, spec.traffic,
+            router_factory=FACTORY,
+            fault_schedule=spec.fault_schedule,
+        )
+        out.append(sim.run())
+    return out
+
+
+def _lane_key(res):
+    """Everything a lane result asserts: identity, not approximation."""
+    return (
+        res.cycles,
+        res.blocked,
+        res.drained,
+        res.faults_injected,
+        res.stats.summary(),
+        asdict(res.router_stats),
+    )
+
+
+def test_batched_engine_speedup(benchmark):
+    assert supports(NET, FACTORY, "xy") is None
+
+    t0 = time.perf_counter()
+    event = _event_results()
+    event_s = time.perf_counter() - t0
+
+    box = {}
+
+    def batched_run():
+        t0 = time.perf_counter()
+        out = run_lanes(
+            NET, SIM, _lane_inputs(), router_factory=FACTORY
+        )
+        box["s"] = time.perf_counter() - t0
+        return out
+
+    batched = benchmark.pedantic(
+        batched_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    batched_s = box["s"]
+
+    # a speedup earned by divergence would be a bug, not a win
+    assert len(batched) == len(event) == LANES
+    for lane, (b, e) in enumerate(zip(batched, event)):
+        assert _lane_key(b) == _lane_key(e), f"lane {lane} diverged"
+
+    speedup = event_s / batched_s
+    print(
+        f"\nfig7-style sweep, {LANES} lanes: event {event_s:.2f}s "
+        f"({LANES / event_s:.1f} points/s), batched {batched_s:.2f}s "
+        f"({LANES / batched_s:.1f} points/s) -> {speedup:.2f}x"
+    )
+    _write_json(
+        {
+            "batched_engine_speedup": round(speedup, 2),
+            "batched_points_per_s": round(LANES / batched_s, 2),
+            "event_points_per_s": round(LANES / event_s, 2),
+            "batched_lanes_s": round(batched_s, 4),
+            "event_lanes_s": round(event_s, 4),
+        }
+    )
+    # acceptance floor: batching must carry its weight at fleet size
+    assert speedup >= 3.0, f"batched speedup {speedup:.2f}x < 3x"

@@ -12,8 +12,15 @@ runs, so the engine's correctness is always exercised.
 Also times the Table III Monte-Carlo campaign (trial sharding rather
 than point sharding) both ways, and the warm-network pool against cold
 per-point construction on a Figure 7-style repeated-run shape.
+
+Set ``REPRO_BENCH_JSON=<path>`` to write the measurements as JSON (the
+CI job uploads it as the ``BENCH_parallel_sweep.json`` artifact and
+gates it with ``compare_bench.py``).  Parallel-speedup keys are only
+emitted on machines with >= 2 usable cores — a single-core baseline
+must not demand them from multi-core runs, nor vice versa.
 """
 
+import json
 import os
 import time
 
@@ -29,6 +36,19 @@ from repro.traffic.apps import app_profile
 
 RATES = (0.04, 0.08, 0.12, 0.16)
 MEASURE = 1200
+
+
+def _write_json(payload: dict) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON", "")
+    if not path:
+        return
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as fp:
+            existing = json.load(fp)
+    existing.update(payload)
+    with open(path, "w") as fp:
+        json.dump(existing, fp, indent=2, sort_keys=True)
 
 
 def _usable_cores() -> int:
@@ -68,6 +88,7 @@ def test_load_latency_parallel_speedup(benchmark):
         f"({_usable_cores()} usable core(s))"
     )
     if _usable_cores() >= 2:
+        _write_json({"load_latency_parallel_speedup": round(speedup, 2)})
         assert speedup >= 1.5, (
             f"expected >= 1.5x speedup at jobs=2, got {speedup:.2f}x"
         )
@@ -133,6 +154,7 @@ def test_warm_pool_amortizes_construction(benchmark):
         f"\nfig7-style x{len(points)} points: cold {cold_s:.2f}s, "
         f"warm {warm_s:.2f}s (setup {setup_s:.3f}s) -> {ratio:.2f}x"
     )
+    _write_json({"warm_pool_speedup_x": round(ratio, 2)})
     assert ratio >= 0.9, (
         f"warm pool slower than cold construction: {ratio:.2f}x"
     )
@@ -161,6 +183,7 @@ def test_spf_monte_carlo_parallel_speedup(benchmark):
         f"({_usable_cores()} usable core(s))"
     )
     if _usable_cores() >= 2:
+        _write_json({"spf_mc_parallel_speedup": round(speedup, 2)})
         assert speedup >= 1.5, (
             f"expected >= 1.5x speedup at jobs=2, got {speedup:.2f}x"
         )

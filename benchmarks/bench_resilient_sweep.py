@@ -9,9 +9,9 @@ is bounded, then re-runs from the completed checkpoint and asserts the
 resume path short-circuits execution entirely.
 
 Set ``REPRO_BENCH_JSON=<path>`` to write the measurements as JSON
-(the CI `benchmark-smoke` job publishes them in the
-``BENCH_observability.json`` artifact alongside the other engineering
-benches).
+(the CI `benchmark-smoke` job publishes them as the
+``BENCH_resilient_sweep.json`` artifact and gates them with
+``compare_bench.py``).
 """
 
 import json

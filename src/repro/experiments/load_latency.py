@@ -16,9 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
-from ..core.protected_router import protected_router_factory
 from ..faults.injector import RandomFaultInjector
-from ..network import warm
 from ..traffic.generator import SyntheticTraffic
 from .report import ExperimentResult, override_seed, take_legacy
 from .resilient import sweep_runtime
@@ -34,6 +32,10 @@ class LoadLatencyConfig:
     num_faults: int = 48
     seed: int = 1
     measure: int = 3000
+    #: sweep execution engine: ``"batched"`` steps all points sharing the
+    #: structural key as lanes of one NumPy engine (bit-identical to
+    #: ``"event"``, which runs one fabric per point)
+    engine: str = "batched"
 
 
 @dataclass(frozen=True)
@@ -49,34 +51,17 @@ class LoadPoint:
         return self.faulty_latency / self.fault_free_latency - 1.0
 
 
-def _run(net: NetworkConfig, rate: float, seed: int, faults: int,
-         measure: int) -> "PointOutcome":
+def _make_traffic(net: NetworkConfig, rate: float, seed: int) -> SyntheticTraffic:
     from ..traffic.generator import COHERENCE_MIX
-    from .parallel import PointOutcome
 
-    schedule = None
-    if faults:
-        schedule = RandomFaultInjector(
-            net.router, net.num_nodes, mean_interval=5.0, num_faults=faults,
-            rng=seed + 101, first_fault_at=0, avoid_failure=True,
-        )
-    # warm pool: reuse one fabric per NetworkConfig across sweep points
-    # (bit-identical to a fresh build — pinned by the golden tests)
-    sim = warm.acquire(
-        net,
-        SimulationConfig(
-            warmup_cycles=500,
-            measure_cycles=measure,
-            drain_cycles=max(4000, measure),
-            seed=seed,
-            watchdog_cycles=20_000,
-        ),
-        SyntheticTraffic(net, injection_rate=rate, mix=COHERENCE_MIX, rng=seed),
-        router_factory=protected_router_factory(net),
-        fault_schedule=schedule,
+    return SyntheticTraffic(net, injection_rate=rate, mix=COHERENCE_MIX, rng=seed)
+
+
+def _make_schedule(net: NetworkConfig, faults: int, seed: int) -> RandomFaultInjector:
+    return RandomFaultInjector(
+        net.router, net.num_nodes, mean_interval=5.0, num_faults=faults,
+        rng=seed + 101, first_fault_at=0, avoid_failure=True,
     )
-    res = sim.run()
-    return PointOutcome(res.avg_network_latency, cycles=res.cycles)
 
 
 def sweep(
@@ -87,6 +72,7 @@ def sweep(
     seed: int = 1,
     measure: int = 3000,
     jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> list[LoadPoint]:
     """Measure the fault-free and faulty curves over ``rates``.
 
@@ -96,7 +82,7 @@ def sweep(
     """
     points, _ = sweep_sharded(
         rates, width=width, height=height, num_faults=num_faults,
-        seed=seed, measure=measure, jobs=jobs,
+        seed=seed, measure=measure, jobs=jobs, engine=engine,
     )
     return points
 
@@ -109,10 +95,19 @@ def sweep_sharded(
     seed: int = 1,
     measure: int = 3000,
     jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> tuple[list[LoadPoint], "SweepReport"]:
-    """The sweep through the parallel engine: 2 points per rate
-    (fault-free, faulty), each an independent seeded simulation."""
-    from .parallel import map_sweep
+    """The sweep through the lane engine: 2 points per rate (fault-free,
+    faulty), each an independent seeded simulation.
+
+    All points share one structural key (same mesh, protected router,
+    XY routing), so with ``engine="batched"`` the whole sweep steps as
+    lanes of a single :class:`repro.network.batched.BatchedLaneEngine`
+    per worker — bit-identical to ``engine="event"`` (one warm-pooled
+    fabric per point), which remains available for configurations the
+    batched path declines and for A/B timing.
+    """
+    from .parallel import LanePoint, run_lane_sweep
 
     if not rates:
         raise ValueError("need at least one rate")
@@ -120,17 +115,38 @@ def sweep_sharded(
         width=width, height=height,
         router=RouterConfig(num_vcs=4, num_vnets=2),
     )
-    argtuples, labels = [], []
+    sim_config = SimulationConfig(
+        warmup_cycles=500,
+        measure_cycles=measure,
+        drain_cycles=max(4000, measure),
+        seed=seed,
+        watchdog_cycles=20_000,
+    )
+    points = []
     for rate in rates:
         for faults in (0, num_faults):
-            argtuples.append((net, rate, seed, faults, measure))
-            labels.append(f"rate={rate:.2f}:{'faulty' if faults else 'ff'}")
-    values, report = map_sweep(_run, argtuples, jobs=jobs, labels=labels)
-    points = [
-        LoadPoint(rate, values[2 * i], values[2 * i + 1])
+            points.append(
+                LanePoint(
+                    config=net,
+                    sim_config=sim_config,
+                    make_traffic=_make_traffic,
+                    traffic_args=(net, rate, seed),
+                    make_schedule=_make_schedule if faults else None,
+                    schedule_args=(net, faults, seed) if faults else (),
+                    router_kind="protected",
+                    label=f"rate={rate:.2f}:{'faulty' if faults else 'ff'}",
+                )
+            )
+    values, report = run_lane_sweep(points, jobs=jobs, engine=engine)
+    curve_points = [
+        LoadPoint(
+            rate,
+            values[2 * i].avg_network_latency,
+            values[2 * i + 1].avg_network_latency,
+        )
         for i, rate in enumerate(rates)
     ]
-    return points, report
+    return curve_points, report
 
 
 def run(
@@ -173,6 +189,7 @@ def _run_experiment(
         seed=config.seed,
         measure=config.measure,
         jobs=jobs,
+        engine=config.engine,
     )
     res = ExperimentResult(
         "load_latency",

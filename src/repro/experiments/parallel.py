@@ -47,11 +47,12 @@ import os
 import pickle
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..config import NetworkConfig, SimulationConfig
 from ..network import warm
 from ..observability import merge_exports
 
@@ -88,6 +89,10 @@ class PointOutcome:
 
     value: Any
     cycles: int = 0
+    #: event-engine fallbacks behind this point (lane-sweep accounting:
+    #: a point the batched engine could not take is re-run per-point on
+    #: the event engine and flagged here so shard reports surface it)
+    fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,10 @@ class ShardReport:
     timeouts: int = 0
     #: points durably checkpointed to the run directory by this slot
     checkpointed: int = 0
+    #: points this shard ran on the per-point event engine because the
+    #: batched lane engine declined their configuration (see
+    #: :func:`repro.network.batched.supports`)
+    fallbacks: int = 0
 
     def format(self) -> str:
         name = "resumed" if self.shard < 0 else f"shard {self.shard}"
@@ -165,6 +174,7 @@ class ShardReport:
                 (self.retries, "retries"),
                 (self.timeouts, "timeouts"),
                 (self.checkpointed, "checkpointed"),
+                (self.fallbacks, "event-engine fallbacks"),
             )
             if n
         ]
@@ -210,6 +220,11 @@ class SweepReport:
         return sum(s.checkpointed for s in self.shards)
 
     @property
+    def fallbacks(self) -> int:
+        """Points re-run on the event engine by a lane sweep."""
+        return sum(s.fallbacks for s in self.shards)
+
+    @property
     def worker_time(self) -> float:
         """Summed in-worker wall time (serial-equivalent work)."""
         return sum(s.wall_time for s in self.shards)
@@ -239,6 +254,7 @@ class SweepReport:
                 (self.retries, "retries"),
                 (self.timeouts, "timeouts"),
                 (self.checkpointed, "checkpointed"),
+                (self.fallbacks, "event-engine fallbacks"),
             )
             if n
         ]
@@ -379,8 +395,8 @@ def _pack(task: SweepTask) -> "_PackedTask | SweepTask":
         return task
 
 
-def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int]:
-    """Run one task; returns (index, value, cycles simulated).
+def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int, int]:
+    """Run one task; returns (index, value, cycles simulated, fallbacks).
 
     Exceptions — including unpickling a :class:`_PackedTask` payload —
     are captured as :class:`PointFailure` values so the rest of the
@@ -400,16 +416,17 @@ def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int]:
                 traceback=traceback.format_exc(),
             ),
             0,
+            0,
         )
     if isinstance(out, PointOutcome):
-        return task.index, out.value, int(out.cycles)
+        return task.index, out.value, int(out.cycles), int(out.fallbacks)
     cycles = getattr(out, "cycles", 0)
-    return task.index, out, int(cycles) if isinstance(cycles, int) else 0
+    return task.index, out, int(cycles) if isinstance(cycles, int) else 0, 0
 
 
 def _run_shard(
     payload: "tuple[int, list[SweepTask | _PackedTask]]"
-) -> tuple[list[tuple[int, Any, int]], ShardReport]:
+) -> tuple[list[tuple[int, Any, int, int]], ShardReport]:
     """Worker entry point: run one shard's tasks serially, in order.
 
     The body outside :func:`_execute` (shard setup such as draining the
@@ -419,7 +436,7 @@ def _run_shard(
     that discards the whole sweep.
     """
     shard_id, tasks = payload
-    rows: list[tuple[int, Any, int]] = []
+    rows: list[tuple[int, Any, int, int]] = []
     t0 = time.perf_counter()
     try:
         warm.drain_setup_seconds()  # discard time accrued before this shard
@@ -437,6 +454,7 @@ def _run_shard(
                     traceback=traceback.format_exc(),
                 ),
                 0,
+                0,
             )
         )
         setup = 0.0
@@ -445,9 +463,10 @@ def _run_shard(
         shard=shard_id,
         points=len(rows),
         wall_time=wall,
-        cycles=sum(c for _, _, c in rows),
+        cycles=sum(c for _, _, c, _ in rows),
         setup_s=setup,
         run_s=max(0.0, wall - setup),
+        fallbacks=sum(f for _, _, _, f in rows),
     )
     return rows, report
 
@@ -503,7 +522,7 @@ def run_sweep(
 
     values: list[Any] = [None] * len(tasks)
     for rows, _ in shard_outputs:
-        for index, value, _cycles in rows:
+        for index, value, _cycles, _fallbacks in rows:
             values[index] = value
 
     failures = [v for v in values if isinstance(v, PointFailure)]
@@ -540,3 +559,213 @@ def map_sweep(
         for i, (args, label) in enumerate(zip(argtuples, labels))
     ]
     return run_sweep(tasks, jobs=jobs)
+
+
+# ----------------------------------------------------------------------
+# lane sweeps: batched-engine execution of structurally identical points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LanePoint:
+    """One simulation point declared *constructively* so it can batch.
+
+    Where :class:`SweepTask` wraps an opaque callable, a ``LanePoint``
+    names the ingredients — network/simulation configs, a picklable
+    traffic factory, an optional fault-schedule factory, the router
+    flavour and routing kind — which lets :func:`run_lane_sweep` group
+    points sharing one *structural key* and step each group as lanes of
+    a single :class:`repro.network.batched.BatchedLaneEngine` instead of
+    one fabric per point.  Factories are called inside the worker (fresh
+    RNG streams per attempt, so retries stay bit-identical) and must be
+    module-level picklables, same as ``SweepTask.fn``.
+    """
+
+    config: NetworkConfig
+    sim_config: SimulationConfig
+    #: module-level callable returning the point's traffic source
+    make_traffic: Callable[..., Any]
+    traffic_args: tuple = ()
+    #: module-level callable returning the point's fault schedule
+    make_schedule: Optional[Callable[..., Any]] = None
+    schedule_args: tuple = ()
+    router_kind: str = "baseline"
+    routing_kind: str = "xy"
+    label: str = ""
+
+    def structural_key(self) -> tuple:
+        """Everything that must match for two points to share lanes."""
+        return (
+            self.config,
+            self.sim_config,
+            self.router_kind,
+            self.routing_kind,
+        )
+
+
+def _resolve_factory(kind: str, config: NetworkConfig):
+    """Router factory registry (kept as strings so LanePoints pickle)."""
+    if kind == "baseline":
+        from ..network.simulator import baseline_router_factory
+
+        return baseline_router_factory(config)
+    if kind == "protected":
+        from ..core.protected_router import protected_router_factory
+
+        return protected_router_factory(config)
+    raise ValueError(f"unknown router_kind {kind!r}")
+
+
+def _lane_event_point(point: LanePoint, fallback: bool = False) -> PointOutcome:
+    """Run one :class:`LanePoint` on the per-point event engine.
+
+    Used both for ``engine="event"`` sweeps and as the per-point
+    fallback when the batched engine declines a group's configuration;
+    ``fallback=True`` marks the outcome so shard reports account it.
+    """
+    schedule = (
+        point.make_schedule(*point.schedule_args)
+        if point.make_schedule is not None
+        else None
+    )
+    sim = warm.acquire(
+        point.config,
+        point.sim_config,
+        point.make_traffic(*point.traffic_args),
+        router_factory=_resolve_factory(point.router_kind, point.config),
+        fault_schedule=schedule,
+        routing_kind=point.routing_kind,
+        engine="event",
+    )
+    res = sim.run()
+    return PointOutcome(res, cycles=res.cycles, fallbacks=int(fallback))
+
+
+def _lane_batched_chunk(points: "tuple[LanePoint, ...]") -> PointOutcome:
+    """Run a chunk of structurally identical points as batched lanes."""
+    from ..network.batched import BatchedLaneEngine, LaneSpec
+
+    first = points[0]
+    lanes = [
+        LaneSpec(
+            p.make_traffic(*p.traffic_args),
+            p.make_schedule(*p.schedule_args)
+            if p.make_schedule is not None
+            else None,
+        )
+        for p in points
+    ]
+    engine = BatchedLaneEngine(
+        first.config,
+        first.sim_config,
+        lanes,
+        router_factory=_resolve_factory(first.router_kind, first.config),
+        routing_kind=first.routing_kind,
+    )
+    results = engine.run()
+    return PointOutcome(results, cycles=sum(r.cycles for r in results))
+
+
+def _chunk_evenly(indices: Sequence[int], n_chunks: int) -> list[list[int]]:
+    """Split ``indices`` into ``n_chunks`` contiguous, balanced runs."""
+    n_chunks = max(1, min(n_chunks, len(indices)))
+    base, extra = divmod(len(indices), n_chunks)
+    chunks, pos = [], 0
+    for c in range(n_chunks):
+        size = base + (1 if c < extra else 0)
+        chunks.append(list(indices[pos:pos + size]))
+        pos += size
+    return chunks
+
+
+def run_lane_sweep(
+    points: "Iterable[LanePoint] | Sequence[LanePoint]",
+    jobs: Optional[int] = None,
+    engine: str = "batched",
+) -> tuple[list[Any], SweepReport]:
+    """Execute lane points; returns (SimulationResults in order, report).
+
+    With ``engine="batched"`` points are grouped by
+    :meth:`LanePoint.structural_key`; each *supported* group (see
+    :func:`repro.network.batched.supports`) is split into up to ``jobs``
+    contiguous lane chunks, and every chunk becomes one task stepping
+    all its lanes in a single :class:`BatchedLaneEngine` pass — so
+    process parallelism and lane batching compose.  Groups the batched
+    engine declines (adaptive routing, tracing enabled, oversized VC
+    space, ...) fall back to one event-engine task per point, counted in
+    ``ShardReport.fallbacks``.  ``engine="event"`` runs every point
+    per-fabric (no fallbacks recorded — nothing was declined).
+
+    Execution funnels through :func:`run_sweep`, so a resilient runtime
+    (checkpointing, retries, watchdog) applies at chunk granularity:
+    resilient sweeps shard *groups of lanes*, exactly like the parallel
+    path.  Results are bit-identical across engines and ``jobs`` values
+    — the batched engine is pinned lane-for-lane against the event
+    engine by the golden differential tests.
+    """
+    points = list(points)
+    if engine not in ("event", "batched"):
+        raise ValueError(f"unknown engine {engine!r} (try 'event' or 'batched')")
+    if not points:
+        return [], SweepReport(jobs=0, points=0, wall_time=0.0, shards=())
+
+    tasks: list[SweepTask] = []
+    placements: list[tuple[bool, list[int]]] = []  # (is_chunk, indices)
+
+    def _add(fn, args, label: str, is_chunk: bool, idxs: list[int]) -> None:
+        tasks.append(
+            SweepTask(index=len(tasks), fn=fn, args=args, label=label)
+        )
+        placements.append((is_chunk, idxs))
+
+    if engine == "event":
+        for i, p in enumerate(points):
+            _add(
+                _lane_event_point, (p,), p.label or f"lane {i}", False, [i]
+            )
+    else:
+        from ..network.batched import supports as batched_supports
+
+        n_jobs = resolve_jobs(jobs)
+        groups: dict[tuple, list[int]] = {}
+        for i, p in enumerate(points):
+            groups.setdefault(p.structural_key(), []).append(i)
+        for idxs in groups.values():
+            rep = points[idxs[0]]
+            reason = batched_supports(
+                rep.config,
+                _resolve_factory(rep.router_kind, rep.config),
+                rep.routing_kind,
+            )
+            if reason is None:
+                for chunk in _chunk_evenly(idxs, n_jobs):
+                    label = (
+                        f"{rep.router_kind}/{rep.routing_kind} "
+                        f"lanes {chunk[0]}-{chunk[-1]}"
+                    )
+                    _add(
+                        _lane_batched_chunk,
+                        (tuple(points[j] for j in chunk),),
+                        label,
+                        True,
+                        chunk,
+                    )
+            else:
+                # unsupported structure: per-point event-engine fallback
+                for j in idxs:
+                    _add(
+                        _lane_event_point,
+                        (points[j], True),
+                        points[j].label or f"lane {j} (fallback: {reason})",
+                        False,
+                        [j],
+                    )
+
+    values_raw, report = run_sweep(tasks, jobs=jobs)
+
+    out: list[Any] = [None] * len(points)
+    for value, (is_chunk, idxs) in zip(values_raw, placements):
+        if is_chunk:
+            for j, res in zip(idxs, value):
+                out[j] = res
+        else:
+            out[idxs[0]] = value
+    return out, replace(report, points=len(points))

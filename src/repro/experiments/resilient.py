@@ -159,6 +159,7 @@ class CompletedPoint:
     setup_s: float
     run_s: float
     attempts: int
+    fallbacks: int = 0
 
 
 class CheckpointStore:
@@ -266,6 +267,7 @@ class CheckpointStore:
                     setup_s=float(rec.get("setup_s", 0.0)),
                     run_s=float(rec.get("run_s", 0.0)),
                     attempts=int(rec.get("attempts", 1)),
+                    fallbacks=int(rec.get("fallbacks", 0)),
                 )
         return done
 
@@ -280,6 +282,7 @@ class CheckpointStore:
         setup_s: float,
         run_s: float,
         attempts: int,
+        fallbacks: int = 0,
     ) -> None:
         """Durably record one completed point (append + flush)."""
         fp = self._files.get(seq)
@@ -291,6 +294,7 @@ class CheckpointStore:
             "label": label,
             "attempts": attempts,
             "cycles": cycles,
+            "fallbacks": fallbacks,
             "setup_s": round(setup_s, 6),
             "run_s": round(run_s, 6),
             "value": base64.b64encode(value_bytes).decode("ascii"),
@@ -499,10 +503,12 @@ def _run_payload(index: int, payload: bytes) -> dict:
         out = task.fn(*task.args, **task.kwargs)
         if type(out).__name__ == "PointOutcome":
             value, cycles = out.value, int(out.cycles)
+            fallbacks = int(getattr(out, "fallbacks", 0))
         else:
             value = out
             raw = getattr(out, "cycles", 0)
             cycles = int(raw) if isinstance(raw, int) else 0
+            fallbacks = 0
         value_bytes = pickle.dumps(value)
     except Exception as exc:
         return {
@@ -518,6 +524,7 @@ def _run_payload(index: int, payload: bytes) -> dict:
         "ok": True,
         "value": value_bytes,
         "cycles": cycles,
+        "fallbacks": fallbacks,
         "setup_s": setup,
         "run_s": max(0.0, wall - setup),
     }
@@ -528,7 +535,7 @@ class _Worker:
 
     __slots__ = ("slot", "proc", "conn", "index", "attempt", "started",
                  "points", "cycles", "setup_s", "run_s", "retries",
-                 "timeouts", "checkpointed")
+                 "timeouts", "checkpointed", "fallbacks")
 
     def __init__(self, slot: int, ctx) -> None:
         self.slot = slot
@@ -539,6 +546,7 @@ class _Worker:
         self.retries = 0
         self.timeouts = 0
         self.checkpointed = 0
+        self.fallbacks = 0
         self.proc = None
         self.conn = None
         self.index: Optional[int] = None
@@ -699,6 +707,7 @@ class _Supervisor:
             if result["ok"]:
                 w.points += 1
                 w.cycles += result["cycles"]
+                w.fallbacks += result.get("fallbacks", 0)
                 w.setup_s += result["setup_s"]
                 w.run_s += result["run_s"]
                 result["attempts"] = self.attempts[index]
@@ -819,6 +828,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                     setup_s=result["setup_s"],
                     run_s=result["run_s"],
                     attempts=result["attempts"],
+                    fallbacks=result.get("fallbacks", 0),
                 )
                 w.checkpointed += 1
             if progress is not None:
@@ -879,6 +889,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                 retries=w.retries,
                 timeouts=w.timeouts,
                 checkpointed=w.checkpointed,
+                fallbacks=w.fallbacks,
             )
             for w in sup.workers
         ]
@@ -891,6 +902,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                 cycles=sum(p.cycles for p in done.values()),
                 setup_s=sum(p.setup_s for p in done.values()),
                 run_s=sum(p.run_s for p in done.values()),
+                fallbacks=sum(p.fallbacks for p in done.values()),
             )
         )
 

@@ -160,3 +160,37 @@ class NullFaultInjector:
 
     def next_cycle(self) -> Optional[int]:
         return None
+
+
+def spawn_lane_injectors(
+    config: RouterConfig,
+    num_routers: int,
+    lanes: int,
+    mean_interval: float,
+    num_faults: int,
+    rng: np.random.Generator | np.random.SeedSequence | int | None = None,
+    **kwargs,
+) -> list[RandomFaultInjector]:
+    """One independent random fault schedule per lane of a batched sweep.
+
+    Child seeds come from :meth:`numpy.random.SeedSequence.spawn` — the
+    same derivation :func:`repro.experiments.parallel.spawn_seeds` uses
+    for sweep points — so lane ``i``'s schedule depends only on the root
+    entropy and the lane index, never on how lanes are grouped into
+    :class:`repro.network.batched.BatchedLaneEngine` chunks or worker
+    processes.  ``kwargs`` pass through to :class:`RandomFaultInjector`
+    (``protected``, ``first_fault_at``, ``avoid_failure``, ...).
+    """
+    if isinstance(rng, np.random.Generator):
+        seq = rng.bit_generator.seed_seq
+    elif isinstance(rng, np.random.SeedSequence):
+        seq = rng
+    else:
+        seq = np.random.SeedSequence(rng)
+    return [
+        RandomFaultInjector(
+            config, num_routers, mean_interval, num_faults,
+            rng=np.random.default_rng(child), **kwargs,
+        )
+        for child in seq.spawn(lanes)
+    ]

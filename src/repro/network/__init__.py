@@ -1,5 +1,7 @@
 """Cycle-accurate NoC fabric simulator (GEM5/GARNET substitute)."""
 
+from .batched import BatchedLaneEngine, LaneSpec, run_lanes
+from .batched import supports as batched_supports
 from .nic import NetworkInterface
 from .simulator import (
     EventScheduler,
@@ -11,7 +13,9 @@ from .stats import LatencySample, NetworkStats
 from .topology import Topology
 
 __all__ = [
+    "BatchedLaneEngine",
     "EventScheduler",
+    "LaneSpec",
     "LatencySample",
     "NetworkInterface",
     "NetworkStats",
@@ -19,4 +23,6 @@ __all__ = [
     "SimulationResult",
     "Topology",
     "baseline_router_factory",
+    "batched_supports",
+    "run_lanes",
 ]

@@ -54,6 +54,7 @@ def acquire(
     on_eject: Optional[Callable] = None,
     observability: Optional[Observability] = None,
     event_driven: bool = True,
+    engine: str = "event",
 ) -> NoCSimulator:
     """A simulator ready to ``run()`` — warm-reset when possible.
 
@@ -66,6 +67,12 @@ def acquire(
     ``event_driven`` mirrors the constructor flag; it is plain dynamic
     state (the loop flavour, not the object graph), so a pooled fabric is
     simply re-flagged rather than keyed on it.
+
+    ``engine`` names the caller's engine kind and is part of the pool
+    key: a worker alternating between per-point event-engine runs and
+    batched-lane fallback points (``repro.network.batched``) must never
+    alias the two pools, even though both hand out ``NoCSimulator``
+    instances today.
     """
     global _setup_seconds
     factory = router_factory if router_factory is not None else baseline_router_factory(config)
@@ -80,7 +87,7 @@ def acquire(
         )
         _setup_seconds += perf_counter() - t0
         return sim
-    key = (config, kind, routing_kind, keep_samples)
+    key = (config, kind, routing_kind, keep_samples, engine)
     sim = _POOL.get(key)
     if sim is None:
         sim = NoCSimulator(

@@ -36,6 +36,15 @@ def main(argv: "list[str] | None" = None) -> int:
         help="content-addressed result store (created if missing)",
     )
     parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU cache budget in bytes (evict least-recently-used "
+        "entries past this total; default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="LRU cache budget in entries (default: unbounded)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="default worker processes per computation "
         "(None = serial; 0 = all cores; bit-identical either way)",
@@ -60,6 +69,10 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error("--max-concurrent must be >= 1")
     if args.retries < 0:
         parser.error("--retries must be >= 0")
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 0:
+        parser.error("--cache-max-bytes must be >= 0")
+    if args.cache_max_entries is not None and args.cache_max_entries < 1:
+        parser.error("--cache-max-entries must be >= 1")
 
     retry = RetryPolicy(
         max_attempts=args.retries + 1, timeout_s=args.task_timeout
@@ -73,6 +86,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 jobs=args.jobs,
                 retry=retry,
                 max_concurrent=args.max_concurrent,
+                cache_max_bytes=args.cache_max_bytes,
+                cache_max_entries=args.cache_max_entries,
             )
         )
     except KeyboardInterrupt:

@@ -20,7 +20,13 @@ entry, and adds what a cache needs on top:
   deleted and the experiment recomputed, never served;
 * **exact determinism as the correctness argument** — same fingerprint
   ⇒ bit-identical result (PRs 1–6), so serving a validated entry is
-  indistinguishable from recomputing it.
+  indistinguishable from recomputing it;
+* **bounded growth for long-lived deployments** — optional
+  ``max_bytes``/``max_entries`` budgets enforced LRU-wise after every
+  write: a validated read touches its entry's mtime, so recency survives
+  process restarts and needs no sidecar index.  Because a hit is
+  bit-identical to recomputing, eviction only ever costs wall time,
+  never correctness.
 """
 
 from __future__ import annotations
@@ -87,13 +93,34 @@ class ResultCache:
     an entry being replaced see either the old or the new version.  The
     ``poisoned`` counter tallies entries that failed validation and were
     evicted — the server surfaces it as ``service.cache_poisoned``.
+
+    ``max_bytes``/``max_entries`` (``None`` = unbounded) cap the store:
+    after every :meth:`put` the least-recently-used entries are deleted
+    until both budgets hold, never touching the entry just written.
+    Recency is the entry file's mtime — refreshed by every validated
+    :meth:`get` hit — so the LRU order is durable across restarts.  The
+    ``evicted`` counter tallies budget evictions (the server surfaces it
+    as ``service.cache_evicted``); poisoned deletions count separately.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.root = Path(root)
         self.entries_dir = self.root / "entries"
         self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
         self.poisoned = 0
+        self.evicted = 0
 
     # ------------------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
@@ -107,10 +134,17 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def put(self, entry: CacheEntry) -> Path:
-        """Durably store ``entry`` (atomic write; replaces any old entry)."""
+        """Durably store ``entry`` (atomic write; replaces any old entry).
+
+        With a budget configured, evicts least-recently-used entries
+        afterwards until the store fits; the entry just written is never
+        evicted, even when it alone exceeds ``max_bytes``.
+        """
         path = self.path_for(entry.fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_json(path, entry.to_json(), sort_keys=True, indent=1)
+        if self.max_bytes is not None or self.max_entries is not None:
+            self.enforce_budget(protect=entry.fingerprint)
         return path
 
     def get(self, fingerprint: str) -> Optional[CacheEntry]:
@@ -132,7 +166,7 @@ class ResultCache:
         except OSError:
             return None
         try:
-            return self._validate(fingerprint, raw)
+            entry = self._validate(fingerprint, raw)
         except PoisonedEntryError:
             self.poisoned += 1
             try:
@@ -140,6 +174,11 @@ class ResultCache:
             except OSError:  # pragma: no cover — already evicted
                 pass
             return None
+        try:
+            os.utime(path)  # refresh LRU recency (best-effort)
+        except OSError:  # pragma: no cover — raced with eviction
+            pass
+        return entry
 
     def _validate(self, fingerprint: str, raw: bytes) -> CacheEntry:
         try:
@@ -173,6 +212,49 @@ class ResultCache:
             result=result,
             compute=dict(data.get("compute") or {}),
         )
+
+    # ------------------------------------------------------------------
+    def enforce_budget(self, protect: Optional[str] = None) -> int:
+        """Delete least-recently-used entries until both budgets hold.
+
+        Returns the number of entries deleted (also accumulated into
+        ``evicted``).  ``protect`` names one fingerprint that is never
+        deleted — :meth:`put` passes the entry it just wrote, so a
+        budget smaller than a single entry degrades to "keep only the
+        latest", not to an always-empty cache.  One directory scan per
+        call, no sidecar index to maintain or corrupt; mtime ties break
+        by path so the order is deterministic.
+        """
+        infos: list[tuple[int, str, Path, int]] = []
+        total = 0
+        for path in self.entries_dir.glob("??/*.json"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover — raced with a delete
+                continue
+            infos.append((st.st_mtime_ns, path.name, path, st.st_size))
+            total += st.st_size
+        count = len(infos)
+        infos.sort()
+        deleted = 0
+        for _, _, path, size in infos:
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            over_entries = (
+                self.max_entries is not None and count > self.max_entries
+            )
+            if not (over_bytes or over_entries):
+                break
+            if protect is not None and path.stem == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover — raced with a delete
+                continue
+            total -= size
+            count -= 1
+            deleted += 1
+        self.evicted += deleted
+        return deleted
 
     # ------------------------------------------------------------------
     def fingerprints(self) -> Iterator[str]:

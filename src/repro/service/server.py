@@ -92,8 +92,12 @@ class SweepService:
         retry: Optional[RetryPolicy] = None,
         max_concurrent: int = 1,
         quick_default: bool = False,
+        cache_max_bytes: Optional[int] = None,
+        cache_max_entries: Optional[int] = None,
     ) -> None:
-        self.cache = ResultCache(cache_dir)
+        self.cache = ResultCache(
+            cache_dir, max_bytes=cache_max_bytes, max_entries=cache_max_entries
+        )
         self.jobs = jobs
         self.retry = retry or RetryPolicy(max_attempts=2)
         self.quick_default = quick_default
@@ -247,6 +251,7 @@ class SweepService:
             "inflight": len(self._inflight),
             "cache_entries": len(self.cache),
             "cache_poisoned": self.cache.poisoned,
+            "cache_evicted": self.cache.evicted,
         }
 
     def _catalog(self) -> Dict[str, Any]:
@@ -492,7 +497,11 @@ class SweepService:
                 entry = make_entry(
                     fingerprint, name, config, payload, compute
                 )
+                before = self.cache.evicted
                 self.cache.put(entry)
+                swept = self.cache.evicted - before
+                if swept:
+                    self.registry.inc("service.cache_evicted", swept)
                 return entry.to_json()
         finally:
             self._publish(fingerprint, _EOF)
@@ -518,10 +527,17 @@ async def serve(
     retry: Optional[RetryPolicy] = None,
     max_concurrent: int = 1,
     ready_line: bool = True,
+    cache_max_bytes: Optional[int] = None,
+    cache_max_entries: Optional[int] = None,
 ) -> None:
     """Entry point used by ``python -m repro.service``: serve until cancelled."""
     service = SweepService(
-        cache_dir, jobs=jobs, retry=retry, max_concurrent=max_concurrent
+        cache_dir,
+        jobs=jobs,
+        retry=retry,
+        max_concurrent=max_concurrent,
+        cache_max_bytes=cache_max_bytes,
+        cache_max_entries=cache_max_entries,
     )
     bound = await service.start(host, port)
     if ready_line:

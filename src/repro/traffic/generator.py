@@ -157,6 +157,51 @@ class SyntheticTraffic:
         self._skip_until = -1
 
     # ------------------------------------------------------------------
+    @classmethod
+    def spawn_lanes(
+        cls,
+        config: NetworkConfig,
+        injection_rates: Sequence[float],
+        rng: np.random.Generator | np.random.SeedSequence | int | None = None,
+        pattern: Optional[TrafficPattern] = None,
+        mix: Sequence[PacketClass] = SINGLE_FLIT_MIX,
+        burstiness: float = 0.0,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> "list[SyntheticTraffic]":
+        """One traffic source per lane — the lane axis over chunked draws.
+
+        The batched engine (:mod:`repro.network.batched`) steps N
+        sweep-point fabrics at once but must keep each lane's random
+        stream identical to its serial run; vectorising the Bernoulli
+        draws *across* lanes would interleave their bitstreams.  Instead
+        the lane axis lives here: each lane gets its own generator seeded
+        from :meth:`numpy.random.SeedSequence.spawn` (the same derivation
+        sweep points use), and each keeps its own chunked-draw state, so
+        lane ``i``'s consumed stream depends only on the root entropy and
+        ``i`` — not on lane grouping, worker layout, or engine choice.
+        Chunking still amortises RNG-call overhead within each lane
+        exactly as in the serial engine.
+        """
+        if isinstance(rng, np.random.Generator):
+            seq = rng.bit_generator.seed_seq
+        elif isinstance(rng, np.random.SeedSequence):
+            seq = rng
+        else:
+            seq = np.random.SeedSequence(rng)
+        return [
+            cls(
+                config,
+                injection_rate=rate,
+                pattern=pattern,
+                mix=mix,
+                rng=np.random.default_rng(child),
+                burstiness=burstiness,
+                nodes=nodes,
+            )
+            for rate, child in zip(injection_rates, seq.spawn(len(injection_rates)))
+        ]
+
+    # ------------------------------------------------------------------
     def _effective_rate(self) -> np.ndarray:
         if self.burstiness == 0.0:
             return self._flat_rate

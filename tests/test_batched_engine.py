@@ -1,0 +1,434 @@
+"""The batched lane engine (:mod:`repro.network.batched`).
+
+The engine's contract is *bit-identity*: stepping N structurally
+identical sweep points as lanes of flat NumPy state arrays must produce,
+for every lane, exactly the result a serial per-lane event-engine run
+produces — cycle counts, drain status, the full latency/throughput
+summary, and the aggregated router counters.  These tests pin that
+contract three ways:
+
+* **differential matrix + fuzz** — fixed scenarios spanning mesh shape,
+  VC/vnet count, router kind, routing kind, and fault schedules, plus
+  seeded randomized draws of the same axes;
+* **sweep-layer seams** — ``run_lane_sweep`` grouping/fallback rules
+  (unsupported configurations fall back per point to the event engine,
+  recorded in the report), chunking invariance across ``jobs``, and the
+  warm-pool ``engine`` key that keeps batched fallback points from
+  aliasing event-engine pools;
+* **router state export/import** — the per-router snapshot hooks the
+  lane engine's import/export seam builds on: round-trip stability and
+  cross-fabric restoration into a freshly built router.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.experiments.load_latency import _make_schedule, _make_traffic
+from repro.experiments.parallel import LanePoint, run_lane_sweep
+from repro.faults.injector import RandomFaultInjector, spawn_lane_injectors
+from repro.network import warm
+from repro.network.batched import LaneSpec, run_lanes, supports
+from repro.network.simulator import NoCSimulator, baseline_router_factory
+from repro.router.flit import Flit, reset_packet_ids
+from repro.traffic.generator import (
+    COHERENCE_MIX,
+    SINGLE_FLIT_MIX,
+    SyntheticTraffic,
+)
+
+
+def _net(width, height, vcs, vnets):
+    return NetworkConfig(
+        width=width, height=height,
+        router=RouterConfig(num_vcs=vcs, num_vnets=vnets),
+    )
+
+
+def _sim_cfg(measure=250, seed=5):
+    return SimulationConfig(
+        warmup_cycles=50,
+        measure_cycles=measure,
+        drain_cycles=1500,
+        seed=seed,
+        watchdog_cycles=6000,
+    )
+
+
+def _factory(net, kind):
+    if kind == "protected":
+        return protected_router_factory(net)
+    return baseline_router_factory(net)
+
+
+def _lane_key(res):
+    """Everything a lane result asserts: identity, not approximation."""
+    import dataclasses
+
+    return (
+        res.cycles,
+        res.blocked,
+        res.drained,
+        res.faults_injected,
+        res.stats.summary(),
+        dataclasses.asdict(res.router_stats),
+    )
+
+
+def _event_reference(net, sim_cfg, spec, factory, routing_kind="xy"):
+    reset_packet_ids()
+    sim = NoCSimulator(
+        net, sim_cfg, spec.traffic,
+        router_factory=factory,
+        fault_schedule=spec.fault_schedule,
+        routing_kind=routing_kind,
+    )
+    return sim.run()
+
+
+def _assert_lanes_match(net, sim_cfg, make_specs, kind, routing_kind="xy"):
+    """Batched run vs per-lane event runs over identical lane inputs.
+
+    ``make_specs`` is called once per engine so each gets fresh,
+    identically seeded traffic/schedule objects.
+    """
+    factory = _factory(net, kind)
+    assert supports(net, factory, routing_kind) is None
+    reset_packet_ids()
+    batched = run_lanes(
+        net, sim_cfg, make_specs(), router_factory=factory,
+        routing_kind=routing_kind,
+    )
+    refs = [
+        _event_reference(net, sim_cfg, spec, factory, routing_kind)
+        for spec in make_specs()
+    ]
+    assert len(batched) == len(refs)
+    for lane, (b, r) in enumerate(zip(batched, refs)):
+        assert _lane_key(b) == _lane_key(r), f"lane {lane} diverged"
+
+
+# ----------------------------------------------------------------------
+# differential matrix
+# ----------------------------------------------------------------------
+class TestBatchedDifferential:
+    def test_baseline_single_vnet(self):
+        net = _net(3, 3, 2, 1)
+
+        def specs():
+            return [
+                LaneSpec(SyntheticTraffic(net, injection_rate=r, rng=40 + i))
+                for i, r in enumerate((0.05, 0.10, 0.15))
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "baseline")
+
+    def test_protected_with_faults_coherence_mix(self):
+        net = _net(4, 4, 4, 2)
+
+        def specs():
+            schedules = spawn_lane_injectors(
+                net.router, net.num_nodes, 3, mean_interval=30.0,
+                num_faults=8, rng=77, first_fault_at=40, avoid_failure=True,
+            )
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.08, mix=COHERENCE_MIX,
+                        rng=50 + i,
+                    ),
+                    schedules[i] if i else None,  # lane 0 fault-free
+                )
+                for i in range(3)
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "protected")
+
+    def test_rectangular_mesh_yx_routing(self):
+        net = _net(4, 2, 4, 2)
+
+        def specs():
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.06, mix=COHERENCE_MIX, rng=60
+                    )
+                ),
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.12, mix=COHERENCE_MIX, rng=61
+                    )
+                ),
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "protected", "yx")
+
+    def test_lookahead_routing(self):
+        net = _net(3, 3, 2, 1)
+
+        def specs():
+            return [
+                LaneSpec(SyntheticTraffic(net, injection_rate=0.1, rng=70))
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "baseline", "lookahead_xy")
+
+    def test_single_lane_degenerate(self):
+        """A one-lane batch is just a slow spelling of a serial run."""
+        net = _net(3, 3, 4, 2)
+
+        def specs():
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.09, mix=COHERENCE_MIX, rng=80
+                    )
+                )
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "protected")
+
+    def test_fuzz_randomized_scenarios(self):
+        """Seeded property sweep over mesh/VC/rate/fault-count draws."""
+        rng = np.random.default_rng(20260808)
+        for case in range(4):
+            width = int(rng.integers(2, 5))
+            height = int(rng.integers(2, 4))
+            vnets = int(rng.integers(1, 3))
+            vcs = int(rng.choice([2, 4]))
+            net = _net(width, height, vcs, vnets)
+            kind = "protected" if rng.random() < 0.7 else "baseline"
+            lanes = int(rng.integers(2, 5))
+            rates = rng.uniform(0.02, 0.12, size=lanes).round(3)
+            mix = COHERENCE_MIX if vnets == 2 else SINGLE_FLIT_MIX
+            faulted = (
+                kind == "protected"
+                and rng.random() < 0.7
+                and net.num_nodes >= 4
+            )
+            seed_base = int(rng.integers(0, 2**16))
+
+            def specs():
+                schedules = [None] * lanes
+                if faulted:
+                    injectors = spawn_lane_injectors(
+                        net.router, net.num_nodes, lanes,
+                        mean_interval=25.0,
+                        num_faults=int(min(6, net.num_nodes)),
+                        rng=seed_base + 1, first_fault_at=30,
+                        avoid_failure=True,
+                    )
+                    # every other lane carries faults
+                    schedules = [
+                        injectors[i] if i % 2 else None for i in range(lanes)
+                    ]
+                return [
+                    LaneSpec(
+                        SyntheticTraffic(
+                            net, injection_rate=float(rates[i]), mix=mix,
+                            rng=seed_base + 10 + i,
+                        ),
+                        schedules[i],
+                    )
+                    for i in range(lanes)
+                ]
+
+            _assert_lanes_match(
+                net, _sim_cfg(measure=150, seed=seed_base % 97), specs, kind
+            )
+
+
+# ----------------------------------------------------------------------
+# supports() gate
+# ----------------------------------------------------------------------
+class TestSupportsGate:
+    def test_supported_config_returns_none(self):
+        net = _net(4, 4, 4, 2)
+        assert supports(net, protected_router_factory(net), "xy") is None
+
+    def test_adaptive_routing_declined(self):
+        net = _net(4, 4, 2, 1)
+        reason = supports(net, baseline_router_factory(net), "west_first")
+        assert reason is not None and "adaptive" in reason
+
+    def test_nonunit_latency_declined(self):
+        net = NetworkConfig(width=3, height=3, link_latency=2)
+        assert supports(net, None, "xy") is not None
+
+
+# ----------------------------------------------------------------------
+# sweep layer: grouping, fallback, chunk invariance
+# ----------------------------------------------------------------------
+def _lane_points(net, sim_cfg, routing_kinds, rate=0.05, seed=3):
+    return [
+        LanePoint(
+            config=net,
+            sim_config=sim_cfg,
+            make_traffic=_make_traffic,
+            traffic_args=(net, rate, seed + i),
+            router_kind="protected",
+            routing_kind=rk,
+            label=f"p{i}:{rk}",
+        )
+        for i, rk in enumerate(routing_kinds)
+    ]
+
+
+class TestRunLaneSweep:
+    def test_unsupported_points_fall_back_per_point(self):
+        net = _net(4, 4, 4, 2)
+        points = _lane_points(
+            net, _sim_cfg(measure=150),
+            ("xy", "west_first", "xy", "west_first"),
+        )
+        batched_values, batched_report = run_lane_sweep(points)
+        event_values, event_report = run_lane_sweep(points, engine="event")
+
+        assert batched_report.points == len(points)
+        assert batched_report.fallbacks == 2
+        assert event_report.fallbacks == 0
+        assert "event-engine fallbacks" in batched_report.format()
+        for i, (b, e) in enumerate(zip(batched_values, event_values)):
+            assert b.stats.summary() == e.stats.summary(), f"point {i}"
+            assert b.cycles == e.cycles
+
+    def test_chunking_invariance_across_jobs(self):
+        net = _net(4, 4, 4, 2)
+        sim_cfg = _sim_cfg(measure=150)
+        points = [
+            LanePoint(
+                config=net,
+                sim_config=sim_cfg,
+                make_traffic=_make_traffic,
+                traffic_args=(net, 0.03 + 0.02 * i, 11 + i),
+                make_schedule=_make_schedule if i % 2 else None,
+                schedule_args=(net, 6, 11 + i) if i % 2 else (),
+                router_kind="protected",
+                label=f"p{i}",
+            )
+            for i in range(5)
+        ]
+        serial_values, serial_report = run_lane_sweep(points, jobs=None)
+        par_values, par_report = run_lane_sweep(points, jobs=2)
+        assert serial_report.points == par_report.points == 5
+        for i, (a, b) in enumerate(zip(serial_values, par_values)):
+            assert a.stats.summary() == b.stats.summary(), f"point {i}"
+            assert a.cycles == b.cycles
+            assert a.faults_injected == b.faults_injected
+
+    def test_empty_sweep(self):
+        values, report = run_lane_sweep([])
+        assert values == []
+        assert report.points == 0
+
+    def test_unknown_engine_rejected(self):
+        net = _net(3, 3, 2, 1)
+        points = _lane_points(net, _sim_cfg(), ("xy",))
+        with pytest.raises(ValueError):
+            run_lane_sweep(points, engine="quantum")
+
+
+# ----------------------------------------------------------------------
+# warm pool: engine kind is part of the key
+# ----------------------------------------------------------------------
+class TestWarmPoolEngineKey:
+    def test_engine_kind_never_aliases_pools(self):
+        warm.clear_pool()
+        try:
+            net = _net(3, 3, 2, 1)
+            cfg = _sim_cfg(measure=50)
+
+            def traffic(seed):
+                return SyntheticTraffic(net, injection_rate=0.05, rng=seed)
+
+            factory = baseline_router_factory(net)
+            a = warm.acquire(net, cfg, traffic(1), factory, engine="event")
+            b = warm.acquire(net, cfg, traffic(2), factory, engine="batched")
+            assert a is not b, "engine kinds must not share pooled fabrics"
+            c = warm.acquire(net, cfg, traffic(3), factory, engine="event")
+            assert c is a, "same engine kind should reuse its pool"
+        finally:
+            warm.clear_pool()
+
+
+# ----------------------------------------------------------------------
+# router state export/import hooks
+# ----------------------------------------------------------------------
+def _norm(obj):
+    """JSON-comparable normal form of an exported router state."""
+    if isinstance(obj, Flit):
+        return ["flit"] + [getattr(obj, f) for f in Flit.__slots__]
+    if isinstance(obj, dict):
+        return {k: _norm(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_norm(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(_norm(v)) for v in obj)
+    if hasattr(obj, "describe"):
+        return obj.describe()
+    return obj
+
+
+def _run_faulted_sim(seed=7, rate=0.2):
+    net = _net(4, 4, 4, 2)
+    schedule = RandomFaultInjector(
+        net.router, net.num_nodes, mean_interval=30, num_faults=10,
+        rng=5, first_fault_at=40, avoid_failure=True,
+    )
+    reset_packet_ids()
+    sim = NoCSimulator(
+        net,
+        _sim_cfg(measure=300, seed=seed),
+        SyntheticTraffic(net, injection_rate=rate, mix=COHERENCE_MIX, rng=seed),
+        router_factory=protected_router_factory(net),
+        fault_schedule=schedule,
+    )
+    sim.run()
+    return sim
+
+
+class TestRouterStateExport:
+    def test_export_import_round_trip(self):
+        """export -> reset -> import -> export must be a fixed point."""
+        sim = _run_faulted_sim()
+        before = [_norm(r.export_state()) for r in sim.routers]
+        for router, state in zip(
+            sim.routers, [r.export_state() for r in sim.routers]
+        ):
+            router.reset()
+            router.import_state(state)
+        after = [_norm(r.export_state()) for r in sim.routers]
+        assert after == before
+        sim.check_invariants()
+
+    def test_cross_fabric_import(self):
+        """A snapshot restores into a freshly built identical fabric."""
+        src = _run_faulted_sim()
+        states = [r.export_state() for r in src.routers]
+
+        net = _net(4, 4, 4, 2)
+        reset_packet_ids()
+        dst = NoCSimulator(
+            net,
+            _sim_cfg(measure=300, seed=7),
+            SyntheticTraffic(
+                net, injection_rate=0.2, mix=COHERENCE_MIX, rng=99
+            ),
+            router_factory=protected_router_factory(net),
+        )
+        for router, state in zip(dst.routers, states):
+            router.import_state(state)
+        dst.check_invariants()
+        restored = [_norm(r.export_state()) for r in dst.routers]
+        assert restored == [_norm(s) for s in states]
+
+    def test_export_captures_faults_and_occupancy(self):
+        """The snapshot must actually carry faults and buffered flits —
+        an all-empty export would round-trip trivially."""
+        sim = _run_faulted_sim()
+        states = [r.export_state() for r in sim.routers]
+        total_faults = sum(
+            len(s["faults"]["history"]) for s in states
+        )
+        assert total_faults == 10

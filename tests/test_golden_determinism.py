@@ -162,6 +162,94 @@ class TestGoldenDeterminism:
             ) == dataclasses.asdict(ref.router_stats)
 
 
+class TestBatchedLaneGolden:
+    """Per-lane golden: the batched lane engine on the same 8x8
+    fig7-style scenario the engine matrix above pins, against the event
+    engine lane by lane.
+
+    The batched engine declines observability (``supports()`` reports
+    why), so unlike ``_run_once`` these references run observability-free
+    — the comparison covers every output the engines share: cycle
+    counts, drain status, the full stats summary, and the aggregated
+    router counters.
+    """
+
+    def _scenario(self):
+        net = NetworkConfig(
+            width=8, height=8, router=RouterConfig(num_vcs=4, num_vnets=2)
+        )
+        sim_cfg = SimulationConfig(
+            warmup_cycles=50,
+            measure_cycles=400,
+            drain_cycles=2000,
+            seed=9,
+            watchdog_cycles=4000,
+        )
+        return net, sim_cfg
+
+    def _traffic(self, net):
+        return SyntheticTraffic(
+            net, injection_rate=0.08, mix=COHERENCE_MIX, rng=9
+        )
+
+    def _schedule(self, net):
+        return RandomFaultInjector(
+            net.router,
+            net.num_nodes,
+            mean_interval=40,
+            num_faults=12,
+            rng=11,
+            first_fault_at=50,
+            avoid_failure=True,
+        )
+
+    def _assert_lane_matches(self, batched, ref):
+        assert batched.cycles == ref.cycles
+        assert batched.blocked == ref.blocked
+        assert batched.drained == ref.drained
+        assert batched.faults_injected == ref.faults_injected
+        assert batched.stats.summary() == ref.stats.summary()
+        assert dataclasses.asdict(batched.router_stats) == dataclasses.asdict(
+            ref.router_stats
+        )
+
+    def test_batched_lanes_bit_identical(self):
+        from repro.network.batched import LaneSpec, run_lanes
+
+        net, sim_cfg = self._scenario()
+
+        # protected group: a fault-free lane + a tolerated-fault lane
+        reset_packet_ids()
+        protected = run_lanes(
+            net,
+            sim_cfg,
+            [
+                LaneSpec(self._traffic(net)),
+                LaneSpec(self._traffic(net), self._schedule(net)),
+            ],
+            router_factory=protected_router_factory(net),
+        )
+        # baseline group: one fault-free lane
+        reset_packet_ids()
+        baseline = run_lanes(net, sim_cfg, [LaneSpec(self._traffic(net))])
+
+        flavours = [
+            (protected[0], protected_router_factory(net), None),
+            (protected[1], protected_router_factory(net), self._schedule),
+            (baseline[0], baseline_router_factory(net), None),
+        ]
+        for lane, (batched, factory, schedule) in enumerate(flavours):
+            reset_packet_ids()
+            ref = NoCSimulator(
+                net,
+                sim_cfg,
+                self._traffic(net),
+                router_factory=factory,
+                fault_schedule=schedule(net) if schedule else None,
+            ).run()
+            self._assert_lane_matches(batched, ref)
+
+
 class TestProfiledGolden:
     """A profiled run must be bit-identical to an unprofiled one.
 

@@ -209,6 +209,73 @@ class TestResultCache:
         assert cache.get(other) is None
         assert cache.get(entry.fingerprint) is not None
 
+    def _fp(self, i):
+        return f"{i:02x}" + "e" * 62
+
+    def _pin_mtime(self, cache, fp, order):
+        """Give entry ``fp`` a deterministic LRU rank (older = smaller)."""
+        import os
+
+        os.utime(cache.path_for(fp), ns=(order * 10**9, order * 10**9))
+
+    def test_max_entries_evicts_lru(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for i in range(6):
+            cache.put(self._entry(self._fp(i)))
+            self._pin_mtime(cache, self._fp(i), i)
+        assert len(cache) == 3
+        assert cache.evicted == 3
+        survivors = {fp[:2] for fp in cache.fingerprints()}
+        assert survivors == {"03", "04", "05"}
+
+    def test_max_bytes_evicts_lru(self, tmp_path):
+        cache = ResultCache(tmp_path)  # measure one entry first
+        probe = cache.put(self._entry(self._fp(0)))
+        entry_size = probe.stat().st_size
+        probe.unlink()
+
+        cache = ResultCache(tmp_path, max_bytes=2 * entry_size)
+        for i in range(4):
+            cache.put(self._entry(self._fp(i)))
+            self._pin_mtime(cache, self._fp(i), i)
+        assert len(cache) == 2
+        assert cache.evicted == 2
+
+    def test_read_refreshes_recency(self, tmp_path):
+        """A validated get() keeps its entry out of the LRU axe."""
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(2):
+            cache.put(self._entry(self._fp(i)))
+            self._pin_mtime(cache, self._fp(i), i)
+        assert cache.get(self._fp(0)) is not None  # oldest becomes newest
+        cache.put(self._entry(self._fp(2)))
+        assert cache.get(self._fp(0)) is not None
+        assert cache.get(self._fp(1)) is None  # the untouched one went
+        assert cache.evicted == 1
+
+    def test_fresh_write_never_evicted(self, tmp_path):
+        """A budget below one entry keeps only the latest, never zero."""
+        cache = ResultCache(tmp_path, max_bytes=1)
+        cache.put(self._entry(self._fp(0)))
+        assert cache.get(self._fp(0)) is not None
+        cache.put(self._entry(self._fp(1)))
+        assert cache.get(self._fp(1)) is not None
+        assert cache.get(self._fp(0)) is None
+        assert len(cache) == 1
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(8):
+            cache.put(self._entry(self._fp(i)))
+        assert len(cache) == 8
+        assert cache.evicted == 0
+
+    def test_bad_budgets_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=-1)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
 
 # ----------------------------------------------------------------------
 # server end-to-end
@@ -223,6 +290,21 @@ async def _start_service_tmp(**kwargs):
 
 
 class TestServer:
+    def test_stats_surface_cache_evictions(self, tmp_path):
+        """The eviction tally reaches the stats payload as cache_evicted."""
+        service = SweepService(str(tmp_path), cache_max_entries=1)
+        cfg, _ = effective_config("fault_sweep", TINY)
+        for i in range(3):
+            service.cache.put(
+                make_entry(
+                    f"{i:02x}" + "d" * 62, "fault_sweep", cfg,
+                    {"experiment": "fault_sweep", "rows": []}, {},
+                )
+            )
+        stats = service._stats()
+        assert stats["cache_entries"] == 1
+        assert stats["cache_evicted"] == 2
+
     def test_cold_then_warm_bit_identical(self):
         async def run():
             service, client = await _start_service_tmp()
