@@ -150,3 +150,108 @@ def test_batched_engine_speedup(benchmark):
     )
     # acceptance floor: batching must carry its weight at fleet size
     assert speedup >= 3.0, f"batched speedup {speedup:.2f}x < 3x"
+
+
+def test_lane_refill_occupancy(benchmark):
+    """4x-oversubscribed sweep: pending points stream into retired lanes.
+
+    The engine gets ``LANES / 4`` concurrent slots and must keep the
+    state arrays >= 90% occupied while the other three quarters of the
+    points refill freed lanes — and every refilled lane must still be
+    bit-identical to its full-width run (itself pinned against the
+    event engine above).
+    """
+    from repro.network.batched import BatchedLaneEngine
+
+    width = LANES // 4
+    full = run_lanes(NET, SIM, _lane_inputs(), router_factory=FACTORY)
+
+    box = {}
+
+    def refill_run():
+        lanes = _lane_inputs()
+        engine = BatchedLaneEngine(
+            NET, SIM, lanes[:width], FACTORY, pending=lanes[width:]
+        )
+        t0 = time.perf_counter()
+        out = engine.run()
+        box["s"] = time.perf_counter() - t0
+        box["occupancy"] = engine.lane_occupancy
+        return out
+
+    refilled = benchmark.pedantic(
+        refill_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(refilled) == LANES
+    for lane, (r, f) in enumerate(zip(refilled, full)):
+        assert _lane_key(r) == _lane_key(f), f"lane {lane} diverged"
+    occupancy = box["occupancy"]
+    print(
+        f"\nrefill sweep, {LANES} points over {width} slots: "
+        f"{box['s']:.2f}s ({LANES / box['s']:.1f} points/s), "
+        f"occupancy {occupancy:.3f}"
+    )
+    _write_json(
+        {
+            "refill_lane_occupancy": round(occupancy, 4),
+            "refill_points_per_s": round(LANES / box["s"], 2),
+            "refill_s": round(box["s"], 4),
+        }
+    )
+    assert occupancy >= 0.9, f"lane occupancy {occupancy:.3f} < 0.9"
+
+
+def test_fig7_suite_lane_speedup(benchmark):
+    """The converted fig7 path end to end: ``run_suite_sharded`` batched
+    vs event on the quick SPLASH-2 suite (8 apps x fault-free/faulty).
+
+    All 16 points share one structural key, so the batched run steps the
+    whole suite as lanes of a single engine; the event run is the same
+    sweep with ``engine="event"``.  Per-app latencies must match
+    exactly before the timing counts.
+    """
+    from repro.experiments.latency import QUICK_CONFIG, run_suite_sharded
+
+    t0 = time.perf_counter()
+    event_apps, event_report = run_suite_sharded(
+        "splash2", QUICK_CONFIG, engine="event"
+    )
+    event_s = time.perf_counter() - t0
+    points = event_report.points
+
+    box = {}
+
+    def suite_run():
+        t0 = time.perf_counter()
+        out = run_suite_sharded("splash2", QUICK_CONFIG, engine="batched")
+        box["s"] = time.perf_counter() - t0
+        return out
+
+    batched_apps, batched_report = benchmark.pedantic(
+        suite_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    batched_s = box["s"]
+
+    assert batched_report.fallbacks == 0, batched_report.fallback_reasons
+    assert len(batched_apps) == len(event_apps) == 8
+    for b, e in zip(batched_apps, event_apps):
+        assert b.app == e.app
+        assert b.fault_free == e.fault_free, f"{b.app} fault-free diverged"
+        assert b.faulty == e.faulty, f"{b.app} faulty diverged"
+
+    speedup = event_s / batched_s
+    print(
+        f"\nfig7 quick suite, {points} points: event {event_s:.2f}s, "
+        f"batched {batched_s:.2f}s -> {speedup:.2f}x"
+    )
+    _write_json(
+        {
+            "fig7_suite_speedup": round(speedup, 2),
+            "fig7_suite_batched_s": round(batched_s, 4),
+            "fig7_suite_event_s": round(event_s, 4),
+        }
+    )
+    # the suite runs real app surrogates (lower injection, deep drains)
+    # on a 4x4 quick mesh — smaller win than the 64-lane 8x8 case, but
+    # batching must still pay for itself
+    assert speedup >= 1.5, f"suite speedup {speedup:.2f}x < 1.5x"

@@ -5,15 +5,19 @@ paper-scale 8x8 configuration and tightens the assertions to the +13 %
 headline band.
 """
 
+import time
+
 import pytest
 
-from conftest import full_scale, run_once
+from conftest import full_scale, run_once, write_bench_json
 from repro.experiments import fig8
 from repro.experiments.latency import overall_overhead
 
 
 def test_fig8_regeneration(benchmark, latency_config):
+    t0 = time.perf_counter()
     result = run_once(benchmark, fig8.run, cfg=latency_config)
+    elapsed = time.perf_counter() - t0
     print()
     print(result.format())
     apps = result.extras["results"]
@@ -27,3 +31,10 @@ def test_fig8_regeneration(benchmark, latency_config):
         assert 0.05 <= overall <= 0.25
     else:
         assert 0.0 <= overall <= 0.35
+    write_bench_json(
+        {
+            "fig8_regen_s": round(elapsed, 4),
+            "fig8_apps": len(apps),
+            "fig8_overall_overhead_x": round(overall, 4),
+        }
+    )

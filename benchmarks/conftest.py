@@ -9,6 +9,7 @@ configuration; set ``REPRO_BENCH_FULL=1`` to run them at the paper's 8x8
 scale (minutes instead of seconds).
 """
 
+import json
 import os
 
 import pytest
@@ -18,6 +19,25 @@ from repro.experiments.latency import LatencyConfig, QUICK_CONFIG
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def write_bench_json(payload: dict) -> None:
+    """Merge measurements into the JSON file named by ``REPRO_BENCH_JSON``.
+
+    The CI benchmark job uploads these files as ``BENCH_*.json``
+    artifacts and gates them against committed baselines with
+    ``compare_bench.py``.  No-op when the env var is unset.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON", "")
+    if not path:
+        return
+    existing = {}
+    if os.path.exists(path):
+        with open(path) as fp:
+            existing = json.load(fp)
+    existing.update(payload)
+    with open(path, "w") as fp:
+        json.dump(existing, fp, indent=2, sort_keys=True)
 
 
 @pytest.fixture

@@ -18,8 +18,6 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
-from ..core.protected_router import protected_router_factory
-from ..network import warm
 from ..reliability.spf import analyze_spf
 from ..reliability.stages import RouterGeometry
 from ..synthesis.area import area_overhead
@@ -37,27 +35,20 @@ class DesignSpaceConfig:
     rate: float = 0.15
     seed: int = 1
     measure: int = 2000
+    #: sweep execution engine.  The grid's points are structurally
+    #: *distinct* (each sizes the router differently), so the batched
+    #: lane engine declines every one-point group and the sweep runs on
+    #: the per-point event engine either way — routing it through
+    #: :func:`repro.experiments.parallel.run_lane_sweep` anyway keeps
+    #: one code path and surfaces the decline reasons in the report.
+    engine: str = "batched"
 
 
-def _latency(num_vcs: int, buffer_depth: int, rate: float, seed: int,
-             measure: int) -> "PointOutcome":
-    from .parallel import PointOutcome
-
-    net = NetworkConfig(
-        width=4, height=4,
-        router=RouterConfig(num_vcs=num_vcs, buffer_depth=buffer_depth),
-    )
-    # warm pool: each (VC count, buffer depth) keys its own fabric; the
-    # pool reuses it for every point of the grid that shares the shape
-    sim = warm.acquire(
-        net,
-        SimulationConfig(warmup_cycles=400, measure_cycles=measure,
-                         drain_cycles=4000, seed=seed),
-        SyntheticTraffic(net, injection_rate=rate, rng=seed),
-        router_factory=protected_router_factory(net),
-    )
-    result = sim.run()
-    return PointOutcome(result.avg_network_latency, cycles=result.cycles)
+def _grid_traffic(
+    net: NetworkConfig, rate: float, seed: int
+) -> SyntheticTraffic:
+    """Traffic factory for one grid point (module-level → picklable)."""
+    return SyntheticTraffic(net, injection_rate=rate, rng=seed)
 
 
 def run(
@@ -79,7 +70,7 @@ def run(
     if legacy:
         take_legacy(
             "design_space", legacy,
-            {"vc_counts", "buffer_depths", "rate", "measure"},
+            {"vc_counts", "buffer_depths", "rate", "measure", "engine"},
         )
         for key in ("vc_counts", "buffer_depths"):
             if legacy.get(key) is not None:
@@ -93,7 +84,7 @@ def run(
 def _run_experiment(
     config: DesignSpaceConfig, jobs: Optional[int]
 ) -> ExperimentResult:
-    from .parallel import map_sweep
+    from .parallel import LanePoint, run_lane_sweep
 
     vc_counts = list(config.vc_counts)
     buffer_depths = list(config.buffer_depths)
@@ -105,13 +96,30 @@ def _run_experiment(
     # the simulation grid is the expensive part: one engine point per
     # (VC count, buffer depth); the SPF/area columns stay analytic
     grid = [(v, d) for v in vc_counts for d in buffer_depths]
-    latencies, sweep_report = map_sweep(
-        _latency,
-        [(v, d, rate, seed, measure) for v, d in grid],
-        jobs=jobs,
-        labels=[f"{v}vc-{d}deep" for v, d in grid],
+    sim_config = SimulationConfig(
+        warmup_cycles=400, measure_cycles=measure, drain_cycles=4000,
+        seed=seed,
     )
-    lat_by_point = dict(zip(grid, latencies))
+    points = []
+    for v, d in grid:
+        net = NetworkConfig(
+            width=4, height=4,
+            router=RouterConfig(num_vcs=v, buffer_depth=d),
+        )
+        points.append(
+            LanePoint(
+                config=net,
+                sim_config=sim_config,
+                make_traffic=_grid_traffic,
+                traffic_args=(net, rate, seed),
+                router_kind="protected",
+                label=f"{v}vc-{d}deep",
+            )
+        )
+    values, sweep_report = run_lane_sweep(
+        points, jobs=jobs, engine=config.engine
+    )
+    lat_by_point = dict(zip(grid, (r.avg_network_latency for r in values)))
     points = {}
     for v in vc_counts:
         geom = RouterGeometry(num_vcs=v)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..traffic.apps import app_profile
-from .latency import QUICK_CONFIG, LatencyConfig, run_app
+from .latency import QUICK_CONFIG, LatencyConfig, suite_schedule, suite_traffic
 from .report import ExperimentResult, take_legacy
 from .resilient import sweep_runtime
 
@@ -31,6 +31,12 @@ class FaultSweepConfig:
     fault_counts: Optional[tuple[int, ...]] = None
     app: str = "ocean"
     latency: Optional[LatencyConfig] = None
+    #: sweep execution engine: all fault counts share one structural key
+    #: (same mesh, protected router, XY routing — only the fault
+    #: schedule differs), so ``"batched"`` steps the whole sweep as
+    #: lanes of one NumPy engine; ``"event"`` runs one fabric per point
+    #: (bit-identical, for A/B timing)
+    engine: str = "batched"
 
 
 def run(
@@ -57,13 +63,16 @@ def run(
             else base.fault_counts,
             app=legacy.get("app", base.app),
             latency=legacy.get("cfg", base.latency),
+            engine=base.engine,
         )
     config = config or FaultSweepConfig()
     cfg = config.latency
     if seed is not None:
         cfg = replace(cfg or QUICK_CONFIG, seed=seed)
     with sweep_runtime(out_dir=out_dir, resume=resume):
-        return _run_experiment(config.fault_counts, config.app, cfg, jobs)
+        return _run_experiment(
+            config.fault_counts, config.app, cfg, jobs, config.engine
+        )
 
 
 def _run_experiment(
@@ -71,32 +80,48 @@ def _run_experiment(
     app: str,
     cfg: LatencyConfig | None,
     jobs: Optional[int],
+    engine: str = "batched",
 ) -> ExperimentResult:
-    from .parallel import SweepTask, run_sweep
+    from .parallel import LanePoint, run_lane_sweep
 
     fault_counts = list(fault_counts or (0, 8, 16, 32, 64))
     if fault_counts[0] != 0:
         fault_counts = [0] + fault_counts
     cfg = cfg or QUICK_CONFIG
     profile = app_profile(app)
+    net = cfg.network()
+    sim_config = cfg.simulation()
 
-    # one independent, fully seeded simulation per fault count — the
-    # engine reassembles in index order, so parallel == serial
-    tasks = [
-        SweepTask(
-            index=i,
-            fn=run_app,
-            args=(profile, replace(cfg, num_faults=max(n, 1))),
-            kwargs={"faulty": n > 0},
+    # one independent, fully seeded simulation per fault count — every
+    # point shares the structural key, so the batched engine steps the
+    # whole sweep as lanes; results reassemble in index order either way
+    points = [
+        LanePoint(
+            config=net,
+            sim_config=sim_config,
+            make_traffic=suite_traffic,
+            traffic_args=(net, profile.name, cfg.seed, cfg.rate_scale),
+            make_schedule=suite_schedule if n > 0 else None,
+            schedule_args=(
+                (net, cfg.warmup_cycles, max(n, 1), cfg.seed)
+                if n > 0
+                else ()
+            ),
+            router_kind="protected",
             label=f"{app}@{n}faults",
         )
-        for i, n in enumerate(fault_counts)
+        for n in fault_counts
     ]
-    results, sweep_report = run_sweep(tasks, jobs=jobs)
+    results, sweep_report = run_lane_sweep(points, jobs=jobs, engine=engine)
 
     base_latency = None
     rows: list[tuple[int, float]] = []
     for n, result in zip(fault_counts, results):
+        if result.blocked:
+            raise RuntimeError(
+                f"{app}@{n}faults: network blocked — fault schedule "
+                "should have been tolerable"
+            )
         lat = result.avg_network_latency
         if n == 0:
             base_latency = lat

@@ -42,4 +42,5 @@ def run(
             cfg=cfg.latency,
             apps=cfg.apps,
             jobs=jobs,
+            engine=cfg.engine,
         )

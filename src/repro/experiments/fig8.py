@@ -38,4 +38,5 @@ def run(
             cfg=cfg.latency,
             apps=cfg.apps,
             jobs=jobs,
+            engine=cfg.engine,
         )

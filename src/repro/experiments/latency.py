@@ -86,6 +86,11 @@ class SuiteRunConfig:
 
     latency: Optional[LatencyConfig] = None
     apps: Optional[tuple[str, ...]] = None
+    #: sweep execution engine: ``"batched"`` steps every (app,
+    #: fault-state) point of the suite as lanes of one NumPy engine —
+    #: they all share the 8x8 protected-router structural key — while
+    #: ``"event"`` keeps one fabric per point (bit-identical, for A/B)
+    engine: str = "batched"
 
 
 def coerce_suite_config(
@@ -103,12 +108,10 @@ def coerce_suite_config(
             config = legacy.get("cfg")
         apps = legacy.get("apps")
         if apps is not None:
-            config = SuiteRunConfig(
-                latency=config.latency
-                if isinstance(config, SuiteRunConfig)
-                else config,
-                apps=tuple(apps),
-            )
+            if isinstance(config, SuiteRunConfig):
+                config = replace(config, apps=tuple(apps))
+            else:
+                config = SuiteRunConfig(latency=config, apps=tuple(apps))
     if config is None:
         config = SuiteRunConfig()
     elif isinstance(config, LatencyConfig):
@@ -135,6 +138,37 @@ class AppLatency:
     def overhead(self) -> float:
         """Relative latency increase caused by the tolerated faults."""
         return self.faulty / self.fault_free - 1.0
+
+
+def suite_traffic(
+    net: NetworkConfig, app: str, seed: int, rate_scale: float
+):
+    """Traffic factory for one suite point (module-level → picklable).
+
+    Mirrors :func:`run_app`'s traffic construction exactly, so the lane
+    sweep stays bit-identical to the per-point path.
+    """
+    return make_app_traffic(net, app, rng=seed, rate_scale=rate_scale)
+
+
+def suite_schedule(
+    net: NetworkConfig, warmup_cycles: int, num_faults: int, seed: int
+) -> RandomFaultInjector:
+    """Fault-schedule factory for one suite point (module-level).
+
+    All faults land during warmup so the measurement window sees the
+    steady state — identical construction to :func:`run_app`'s faulty
+    branch (uniform over ``[0, warmup)``, paper-style uniform gaps).
+    """
+    return RandomFaultInjector(
+        net.router,
+        net.num_nodes,
+        mean_interval=max(1.0, warmup_cycles / (2 * num_faults)),
+        num_faults=num_faults,
+        rng=seed + 7919,
+        first_fault_at=0,
+        avoid_failure=True,
+    )
 
 
 def run_app(
@@ -198,9 +232,12 @@ def run_suite(
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> list[AppLatency]:
     """All applications of a suite (optionally a named subset)."""
-    results, _ = run_suite_sharded(suite, cfg, apps=apps, jobs=jobs)
+    results, _ = run_suite_sharded(
+        suite, cfg, apps=apps, jobs=jobs, engine=engine
+    )
     return results
 
 
@@ -209,15 +246,21 @@ def run_suite_sharded(
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> tuple[list[AppLatency], "SweepReport"]:
-    """Suite sweep through the parallel engine: one point per
-    (application, fault-state) pair, reassembled into per-app results.
+    """Suite sweep through the lane engine: one point per (application,
+    fault-state) pair, reassembled into per-app results.
 
-    Each point's simulation is fully seeded by its own config (traffic
-    and fault seeds derive from ``cfg.seed``), so parallel execution is
-    bit-identical to serial.
+    Every point shares one structural key (same 8x8 mesh, protected
+    router, XY routing — only traffic and fault schedules differ), so
+    with ``engine="batched"`` the whole suite steps as lanes of a
+    single :class:`repro.network.batched.BatchedLaneEngine` per chunk,
+    refilling retired lanes from the remaining points.  Each point's
+    simulation is fully seeded by its own config (traffic and fault
+    seeds derive from ``cfg.seed``), so any ``jobs``/engine combination
+    is bit-identical to a serial ``engine="event"`` run.
     """
-    from .parallel import SweepTask, run_sweep
+    from .parallel import LanePoint, run_lane_sweep
 
     cfg = cfg or LatencyConfig()
     profiles = suite_profiles(suite)
@@ -227,21 +270,37 @@ def run_suite_sharded(
         missing = wanted - {p.name for p in profiles}
         if missing:
             raise ValueError(f"unknown apps for {suite}: {sorted(missing)}")
-    tasks = []
+    net = cfg.network()
+    sim_config = cfg.simulation()
+    points = []
     for p in profiles:
         for faulty in (False, True):
-            tasks.append(
-                SweepTask(
-                    index=len(tasks),
-                    fn=run_app,
-                    args=(p, cfg, faulty),
+            points.append(
+                LanePoint(
+                    config=net,
+                    sim_config=sim_config,
+                    make_traffic=suite_traffic,
+                    traffic_args=(net, p.name, cfg.seed, cfg.rate_scale),
+                    make_schedule=suite_schedule if faulty else None,
+                    schedule_args=(
+                        (net, cfg.warmup_cycles, cfg.num_faults, cfg.seed)
+                        if faulty
+                        else ()
+                    ),
+                    router_kind="protected",
                     label=f"{p.name}:{'faulty' if faulty else 'fault-free'}",
                 )
             )
-    values, report = run_sweep(tasks, jobs=jobs)
+    values, report = run_lane_sweep(points, jobs=jobs, engine=engine)
     results = []
     for i, p in enumerate(profiles):
         ff, fy = values[2 * i], values[2 * i + 1]
+        for res in (ff, fy):
+            if res.blocked:
+                raise RuntimeError(
+                    f"{p.name}: network blocked — fault schedule should "
+                    "have been tolerable"
+                )
         results.append(
             AppLatency(
                 app=p.name,
@@ -269,10 +328,13 @@ def suite_experiment(
     cfg: LatencyConfig | None = None,
     apps: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
+    engine: str = "batched",
 ) -> ExperimentResult:
     """Shared Figure 7/8 driver producing an :class:`ExperimentResult`."""
     cfg = cfg or LatencyConfig()
-    results, sweep_report = run_suite_sharded(suite, cfg, apps=apps, jobs=jobs)
+    results, sweep_report = run_suite_sharded(
+        suite, cfg, apps=apps, jobs=jobs, engine=engine
+    )
     res = ExperimentResult(experiment, title)
     for r in results:
         res.add(

@@ -93,6 +93,16 @@ class PointOutcome:
     #: a point the batched engine could not take is re-run per-point on
     #: the event engine and flagged here so shard reports surface it)
     fallbacks: int = 0
+    #: *why* the batched engine declined (``supports()`` reason strings,
+    #: deduplicated upward into ``ShardReport``/``SweepReport`` and the
+    #: service ``/v1/stats`` payload, so a silently-slow sweep is
+    #: diagnosable instead of just countable)
+    fallback_reasons: Tuple[str, ...] = ()
+    #: how many sweep points this outcome covers — 1 for ordinary tasks,
+    #: the lane count for a batched chunk.  Progress streams and
+    #: checkpoint records carry it so per-point accounting survives
+    #: chunk-granularity execution.
+    points: int = 1
 
 
 @dataclass(frozen=True)
@@ -160,6 +170,8 @@ class ShardReport:
     #: batched lane engine declined their configuration (see
     #: :func:`repro.network.batched.supports`)
     fallbacks: int = 0
+    #: deduplicated ``supports()`` reason strings behind ``fallbacks``
+    fallback_reasons: Tuple[str, ...] = ()
 
     def format(self) -> str:
         name = "resumed" if self.shard < 0 else f"shard {self.shard}"
@@ -225,6 +237,16 @@ class SweepReport:
         return sum(s.fallbacks for s in self.shards)
 
     @property
+    def fallback_reasons(self) -> Tuple[str, ...]:
+        """Deduplicated fallback reason strings across all shards."""
+        seen: list[str] = []
+        for s in self.shards:
+            for r in s.fallback_reasons:
+                if r not in seen:
+                    seen.append(r)
+        return tuple(seen)
+
+    @property
     def worker_time(self) -> float:
         """Summed in-worker wall time (serial-equivalent work)."""
         return sum(s.wall_time for s in self.shards)
@@ -259,6 +281,11 @@ class SweepReport:
             if n
         ]
         lines = [head + (f" [{', '.join(notes)}]" if notes else "")]
+        reasons = self.fallback_reasons
+        if reasons:
+            lines.append(
+                "  fallback reasons: " + "; ".join(reasons)
+            )
         if self.jobs > 1:
             lines.extend("  " + s.format() for s in self.shards)
         return "\n".join(lines)
@@ -395,8 +422,10 @@ def _pack(task: SweepTask) -> "_PackedTask | SweepTask":
         return task
 
 
-def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int, int]:
-    """Run one task; returns (index, value, cycles simulated, fallbacks).
+def _execute(
+    task: "SweepTask | _PackedTask",
+) -> tuple[int, Any, int, int, Tuple[str, ...]]:
+    """Run one task; returns (index, value, cycles, fallbacks, reasons).
 
     Exceptions — including unpickling a :class:`_PackedTask` payload —
     are captured as :class:`PointFailure` values so the rest of the
@@ -417,16 +446,25 @@ def _execute(task: "SweepTask | _PackedTask") -> tuple[int, Any, int, int]:
             ),
             0,
             0,
+            (),
         )
     if isinstance(out, PointOutcome):
-        return task.index, out.value, int(out.cycles), int(out.fallbacks)
+        return (
+            task.index,
+            out.value,
+            int(out.cycles),
+            int(out.fallbacks),
+            tuple(out.fallback_reasons),
+        )
     cycles = getattr(out, "cycles", 0)
-    return task.index, out, int(cycles) if isinstance(cycles, int) else 0, 0
+    return (
+        task.index, out, int(cycles) if isinstance(cycles, int) else 0, 0, ()
+    )
 
 
 def _run_shard(
     payload: "tuple[int, list[SweepTask | _PackedTask]]"
-) -> tuple[list[tuple[int, Any, int, int]], ShardReport]:
+) -> tuple[list[tuple[int, Any, int, int, Tuple[str, ...]]], ShardReport]:
     """Worker entry point: run one shard's tasks serially, in order.
 
     The body outside :func:`_execute` (shard setup such as draining the
@@ -436,7 +474,7 @@ def _run_shard(
     that discards the whole sweep.
     """
     shard_id, tasks = payload
-    rows: list[tuple[int, Any, int, int]] = []
+    rows: list[tuple[int, Any, int, int, Tuple[str, ...]]] = []
     t0 = time.perf_counter()
     try:
         warm.drain_setup_seconds()  # discard time accrued before this shard
@@ -455,18 +493,25 @@ def _run_shard(
                 ),
                 0,
                 0,
+                (),
             )
         )
         setup = 0.0
     wall = time.perf_counter() - t0
+    reasons: list[str] = []
+    for _, _, _, _, rs in rows:
+        for r in rs:
+            if r not in reasons:
+                reasons.append(r)
     report = ShardReport(
         shard=shard_id,
         points=len(rows),
         wall_time=wall,
-        cycles=sum(c for _, _, c, _ in rows),
+        cycles=sum(c for _, _, c, _, _ in rows),
         setup_s=setup,
         run_s=max(0.0, wall - setup),
-        fallbacks=sum(f for _, _, _, f in rows),
+        fallbacks=sum(f for _, _, _, f, _ in rows),
+        fallback_reasons=tuple(reasons),
     )
     return rows, report
 
@@ -522,7 +567,7 @@ def run_sweep(
 
     values: list[Any] = [None] * len(tasks)
     for rows, _ in shard_outputs:
-        for index, value, _cycles, _fallbacks in rows:
+        for index, value, _cycles, _fallbacks, _reasons in rows:
             values[index] = value
 
     failures = [v for v in values if isinstance(v, PointFailure)]
@@ -614,12 +659,15 @@ def _resolve_factory(kind: str, config: NetworkConfig):
     raise ValueError(f"unknown router_kind {kind!r}")
 
 
-def _lane_event_point(point: LanePoint, fallback: bool = False) -> PointOutcome:
+def _lane_event_point(
+    point: LanePoint, fallback: bool = False, reason: str = ""
+) -> PointOutcome:
     """Run one :class:`LanePoint` on the per-point event engine.
 
     Used both for ``engine="event"`` sweeps and as the per-point
     fallback when the batched engine declines a group's configuration;
-    ``fallback=True`` marks the outcome so shard reports account it.
+    ``fallback=True`` marks the outcome and ``reason`` carries the
+    ``supports()`` decline string so shard reports surface *why*.
     """
     schedule = (
         point.make_schedule(*point.schedule_args)
@@ -636,11 +684,24 @@ def _lane_event_point(point: LanePoint, fallback: bool = False) -> PointOutcome:
         engine="event",
     )
     res = sim.run()
-    return PointOutcome(res, cycles=res.cycles, fallbacks=int(fallback))
+    return PointOutcome(
+        res,
+        cycles=res.cycles,
+        fallbacks=int(fallback),
+        fallback_reasons=(reason,) if fallback and reason else (),
+    )
 
 
-def _lane_batched_chunk(points: "tuple[LanePoint, ...]") -> PointOutcome:
-    """Run a chunk of structurally identical points as batched lanes."""
+def _lane_batched_chunk(
+    points: "tuple[LanePoint, ...]", width: Optional[int] = None
+) -> PointOutcome:
+    """Run a chunk of structurally identical points as batched lanes.
+
+    ``width`` caps the concurrent lane slots: the first ``width`` points
+    start immediately and the rest stream into slots freed by retiring
+    lanes (lane refill), so arbitrarily long chunks run at a fixed array
+    width without going sparse.
+    """
     from ..network.batched import BatchedLaneEngine, LaneSpec
 
     first = points[0]
@@ -653,15 +714,21 @@ def _lane_batched_chunk(points: "tuple[LanePoint, ...]") -> PointOutcome:
         )
         for p in points
     ]
+    w = len(lanes) if width is None else max(1, min(width, len(lanes)))
     engine = BatchedLaneEngine(
         first.config,
         first.sim_config,
-        lanes,
+        lanes[:w],
         router_factory=_resolve_factory(first.router_kind, first.config),
         routing_kind=first.routing_kind,
+        pending=lanes[w:],
     )
     results = engine.run()
-    return PointOutcome(results, cycles=sum(r.cycles for r in results))
+    return PointOutcome(
+        results,
+        cycles=sum(r.cycles for r in results),
+        points=len(results),
+    )
 
 
 def _chunk_evenly(indices: Sequence[int], n_chunks: int) -> list[list[int]]:
@@ -676,30 +743,49 @@ def _chunk_evenly(indices: Sequence[int], n_chunks: int) -> list[list[int]]:
     return chunks
 
 
+#: default cap on concurrent lane slots per batched chunk — the rest of
+#: a chunk's points stream in through lane refill, so memory stays flat
+#: no matter how many points a chunk carries
+DEFAULT_LANE_WIDTH = 32
+
+#: smallest structurally-identical group worth standing up the batched
+#: engine for; singletons run faster on the plain event engine
+_MIN_LANE_GROUP = 2
+
+
 def run_lane_sweep(
     points: "Iterable[LanePoint] | Sequence[LanePoint]",
     jobs: Optional[int] = None,
     engine: str = "batched",
+    lane_width: Optional[int] = None,
 ) -> tuple[list[Any], SweepReport]:
     """Execute lane points; returns (SimulationResults in order, report).
 
     With ``engine="batched"`` points are grouped by
     :meth:`LanePoint.structural_key`; each *supported* group (see
-    :func:`repro.network.batched.supports`) is split into up to ``jobs``
-    contiguous lane chunks, and every chunk becomes one task stepping
-    all its lanes in a single :class:`BatchedLaneEngine` pass — so
-    process parallelism and lane batching compose.  Groups the batched
-    engine declines (adaptive routing, tracing enabled, oversized VC
-    space, ...) fall back to one event-engine task per point, counted in
-    ``ShardReport.fallbacks``.  ``engine="event"`` runs every point
-    per-fabric (no fallbacks recorded — nothing was declined).
+    :func:`repro.network.batched.supports`) is split into contiguous
+    lane chunks — the chunk count is proportional to the group's
+    estimated simulated cycles (warmup + measure + drain per point), so
+    one long-horizon group splits finer instead of straggling a whole
+    shard — and every chunk becomes one task stepping its lanes in a
+    single :class:`BatchedLaneEngine` pass, at most ``lane_width``
+    (default :data:`DEFAULT_LANE_WIDTH`) lanes wide with the remaining
+    points streaming in through lane refill.  Process parallelism and
+    lane batching compose.
+
+    Groups the batched engine declines (adaptive routing, tracing
+    enabled, oversized VC space, ...) — and groups too small to batch —
+    fall back to one event-engine task per point, counted in
+    ``ShardReport.fallbacks`` with the decline reason threaded into
+    ``ShardReport.fallback_reasons``.  ``engine="event"`` runs every
+    point per-fabric (no fallbacks recorded — nothing was declined).
 
     Execution funnels through :func:`run_sweep`, so a resilient runtime
     (checkpointing, retries, watchdog) applies at chunk granularity:
     resilient sweeps shard *groups of lanes*, exactly like the parallel
-    path.  Results are bit-identical across engines and ``jobs`` values
-    — the batched engine is pinned lane-for-lane against the event
-    engine by the golden differential tests.
+    path.  Results are bit-identical across engines, ``jobs`` and
+    ``lane_width`` values — the batched engine is pinned lane-for-lane
+    against the event engine by the golden differential tests.
     """
     points = list(points)
     if engine not in ("event", "batched"):
@@ -725,9 +811,17 @@ def run_lane_sweep(
         from ..network.batched import supports as batched_supports
 
         n_jobs = resolve_jobs(jobs)
+        width = (
+            DEFAULT_LANE_WIDTH if lane_width is None else max(1, lane_width)
+        )
         groups: dict[tuple, list[int]] = {}
         for i, p in enumerate(points):
             groups.setdefault(p.structural_key(), []).append(i)
+
+        # triage: batchable groups vs per-point event fallbacks (with
+        # the decline reason recorded for the report / service stats)
+        batchable: list[tuple[list[int], LanePoint]] = []
+        fallback: list[tuple[list[int], str]] = []
         for idxs in groups.values():
             rep = points[idxs[0]]
             reason = batched_supports(
@@ -735,29 +829,49 @@ def run_lane_sweep(
                 _resolve_factory(rep.router_kind, rep.config),
                 rep.routing_kind,
             )
+            if reason is None and len(idxs) < _MIN_LANE_GROUP:
+                reason = (
+                    f"group of {len(idxs)} structurally-identical point(s)"
+                    " (below the lane batching threshold)"
+                )
             if reason is None:
-                for chunk in _chunk_evenly(idxs, n_jobs):
-                    label = (
-                        f"{rep.router_kind}/{rep.routing_kind} "
-                        f"lanes {chunk[0]}-{chunk[-1]}"
-                    )
-                    _add(
-                        _lane_batched_chunk,
-                        (tuple(points[j] for j in chunk),),
-                        label,
-                        True,
-                        chunk,
-                    )
+                batchable.append((idxs, rep))
             else:
-                # unsupported structure: per-point event-engine fallback
-                for j in idxs:
-                    _add(
-                        _lane_event_point,
-                        (points[j], True),
-                        points[j].label or f"lane {j} (fallback: {reason})",
-                        False,
-                        [j],
-                    )
+                fallback.append((idxs, reason))
+
+        # chunk counts balanced by estimated simulated cycles — the
+        # horizon is uniform within a group because sim_config is part
+        # of the structural key
+        def _horizon(p: LanePoint) -> int:
+            sc = p.sim_config
+            return sc.warmup_cycles + sc.measure_cycles + sc.drain_cycles
+
+        total_est = sum(_horizon(rep) * len(idxs) for idxs, rep in batchable)
+        budget = (total_est / n_jobs) if total_est else 1.0
+        for idxs, rep in batchable:
+            est = _horizon(rep) * len(idxs)
+            n_chunks = max(1, min(len(idxs), round(est / budget)))
+            for chunk in _chunk_evenly(idxs, n_chunks):
+                label = (
+                    f"{rep.router_kind}/{rep.routing_kind} "
+                    f"lanes {chunk[0]}-{chunk[-1]}"
+                )
+                _add(
+                    _lane_batched_chunk,
+                    (tuple(points[j] for j in chunk), width),
+                    label,
+                    True,
+                    chunk,
+                )
+        for idxs, reason in fallback:
+            for j in idxs:
+                _add(
+                    _lane_event_point,
+                    (points[j], True, reason),
+                    points[j].label or f"lane {j} (fallback: {reason})",
+                    False,
+                    [j],
+                )
 
     values_raw, report = run_sweep(tasks, jobs=jobs)
 

@@ -160,6 +160,9 @@ class CompletedPoint:
     run_s: float
     attempts: int
     fallbacks: int = 0
+    fallback_reasons: Tuple[str, ...] = ()
+    #: sweep points behind this record (lane chunks cover several)
+    points: int = 1
 
 
 class CheckpointStore:
@@ -268,6 +271,8 @@ class CheckpointStore:
                     run_s=float(rec.get("run_s", 0.0)),
                     attempts=int(rec.get("attempts", 1)),
                     fallbacks=int(rec.get("fallbacks", 0)),
+                    fallback_reasons=tuple(rec.get("fallback_reasons", [])),
+                    points=int(rec.get("points", 1)),
                 )
         return done
 
@@ -283,6 +288,8 @@ class CheckpointStore:
         run_s: float,
         attempts: int,
         fallbacks: int = 0,
+        fallback_reasons: Sequence[str] = (),
+        points: int = 1,
     ) -> None:
         """Durably record one completed point (append + flush)."""
         fp = self._files.get(seq)
@@ -295,6 +302,8 @@ class CheckpointStore:
             "attempts": attempts,
             "cycles": cycles,
             "fallbacks": fallbacks,
+            "fallback_reasons": list(fallback_reasons),
+            "points": points,
             "setup_s": round(setup_s, 6),
             "run_s": round(run_s, 6),
             "value": base64.b64encode(value_bytes).decode("ascii"),
@@ -504,11 +513,15 @@ def _run_payload(index: int, payload: bytes) -> dict:
         if type(out).__name__ == "PointOutcome":
             value, cycles = out.value, int(out.cycles)
             fallbacks = int(getattr(out, "fallbacks", 0))
+            reasons = list(getattr(out, "fallback_reasons", ()) or ())
+            points = int(getattr(out, "points", 1))
         else:
             value = out
             raw = getattr(out, "cycles", 0)
             cycles = int(raw) if isinstance(raw, int) else 0
             fallbacks = 0
+            reasons = []
+            points = 1
         value_bytes = pickle.dumps(value)
     except Exception as exc:
         return {
@@ -525,6 +538,8 @@ def _run_payload(index: int, payload: bytes) -> dict:
         "value": value_bytes,
         "cycles": cycles,
         "fallbacks": fallbacks,
+        "fallback_reasons": reasons,
+        "points": points,
         "setup_s": setup,
         "run_s": max(0.0, wall - setup),
     }
@@ -535,7 +550,8 @@ class _Worker:
 
     __slots__ = ("slot", "proc", "conn", "index", "attempt", "started",
                  "points", "cycles", "setup_s", "run_s", "retries",
-                 "timeouts", "checkpointed", "fallbacks")
+                 "timeouts", "checkpointed", "fallbacks",
+                 "fallback_reasons")
 
     def __init__(self, slot: int, ctx) -> None:
         self.slot = slot
@@ -547,6 +563,7 @@ class _Worker:
         self.timeouts = 0
         self.checkpointed = 0
         self.fallbacks = 0
+        self.fallback_reasons: List[str] = []
         self.proc = None
         self.conn = None
         self.index: Optional[int] = None
@@ -708,6 +725,9 @@ class _Supervisor:
                 w.points += 1
                 w.cycles += result["cycles"]
                 w.fallbacks += result.get("fallbacks", 0)
+                for r in result.get("fallback_reasons", []):
+                    if r not in w.fallback_reasons:
+                        w.fallback_reasons.append(r)
                 w.setup_s += result["setup_s"]
                 w.run_s += result["run_s"]
                 result["attempts"] = self.attempts[index]
@@ -807,6 +827,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                 "index": index,
                 "label": labels[index],
                 "attempts": done[index].attempts,
+                "points": done[index].points,
                 "resumed": True,
             })
 
@@ -829,6 +850,8 @@ def execute_sweep(tasks, jobs: Optional[int]):
                     run_s=result["run_s"],
                     attempts=result["attempts"],
                     fallbacks=result.get("fallbacks", 0),
+                    fallback_reasons=result.get("fallback_reasons", []),
+                    points=result.get("points", 1),
                 )
                 w.checkpointed += 1
             if progress is not None:
@@ -837,6 +860,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                     "index": index,
                     "label": labels[index],
                     "attempts": result["attempts"],
+                    "points": result.get("points", 1),
                     "resumed": False,
                 })
 
@@ -890,6 +914,7 @@ def execute_sweep(tasks, jobs: Optional[int]):
                 timeouts=w.timeouts,
                 checkpointed=w.checkpointed,
                 fallbacks=w.fallbacks,
+                fallback_reasons=tuple(w.fallback_reasons),
             )
             for w in sup.workers
         ]
@@ -897,12 +922,17 @@ def execute_sweep(tasks, jobs: Optional[int]):
         shards.append(
             ShardReport(
                 shard=-1,
-                points=len(done),
+                points=sum(p.points for p in done.values()),
                 wall_time=0.0,
                 cycles=sum(p.cycles for p in done.values()),
                 setup_s=sum(p.setup_s for p in done.values()),
                 run_s=sum(p.run_s for p in done.values()),
                 fallbacks=sum(p.fallbacks for p in done.values()),
+                fallback_reasons=tuple(dict.fromkeys(
+                    r
+                    for p in done.values()
+                    for r in p.fallback_reasons
+                )),
             )
         )
 
@@ -916,7 +946,10 @@ def execute_sweep(tasks, jobs: Optional[int]):
     if global_config().metrics:
         reg = MetricsRegistry()
         reg.inc("resilient.points_completed", len(completed))
-        reg.inc("resilient.points_resumed", len(done))
+        reg.inc(
+            "resilient.points_resumed",
+            sum(p.points for p in done.values()),
+        )
         reg.inc("resilient.points_failed", len(failures))
         reg.inc("resilient.points_skipped", len(skipped))
         reg.inc("resilient.retries", sum(s.retries for s in shards))
@@ -934,7 +967,8 @@ def execute_sweep(tasks, jobs: Optional[int]):
         wall_time=wall,
         shards=tuple(shards),
         observability=observability,
-        resumed=len(done),
+        # point-accurate: a resumed lane chunk covers several points
+        resumed=sum(p.points for p in done.values()),
     )
     if failures or skipped:
         report = PartialSweepReport(

@@ -15,14 +15,30 @@ Bit-identical by construction
 The engine mirrors :meth:`NoCSimulator._step_reference` exactly — the
 same phase order (faults, XB, SA, VA, RC, link dispatch, injection), the
 same two-stage separable allocators with per-arbiter round-robin
-priority state, the same credit/event timing (one ring slot ahead, which
-is why ``link_latency == credit_latency == 1`` is a support condition).
+priority state, the same credit/event timing: a calendar ring of
+``max(link_latency, credit_latency) + 1`` slots per event kind, indexed
+``cycle % span`` exactly like :class:`EventScheduler`, so multi-cycle
+link and credit latencies land on the same cycle they would serially.
 Each lane's traffic source and fault schedule are the *same Python
 objects* a serial run would use, called once per cycle, so RNG streams
 and fault arrival order are identical by construction.  Finished lanes
 decode back into ordinary :class:`NetworkStats`/:class:`RouterStats`
 objects; ``tests/test_golden_determinism.py`` pins them byte-identical
 to the event engine per lane.
+
+Lane refill
+-----------
+Lanes run on *local clocks*: every lane slot carries a start offset and
+all cycle-dependent state (traffic generation, fault arrival, bypass
+rotation, latency timestamps, inject/drain windows) is computed against
+``cycle - off[lane]``.  When a lane retires, its result is decoded
+immediately and the next pending structurally-identical point is
+imported into the freed slot — the array form of the router
+``import_state()`` seam: every per-lane array slice returns to its
+power-on value and stale in-flight calendar events are purged.  A
+1000-point sweep therefore holds dense ``(lanes, ...)`` arrays at the
+configured width for its whole duration; :attr:`lane_occupancy` reports
+the achieved density.
 
 Vectorisation strategy
 ----------------------
@@ -38,15 +54,16 @@ per-packet, not per-cycle: NIC injection state machines, tail-flit
 ejection into latency samples, and fault-site injection.
 
 Use :func:`supports` to check a configuration before constructing the
-engine; unsupported configurations (adaptive routing, tracing, non-unit
-link latency, ...) should fall back to the event engine per point —
-``run_sweep(engine="batched")`` does exactly that.
+engine; unsupported configurations (adaptive routing, tracing, per-flit
+callbacks, ...) should fall back to the event engine per point —
+``run_lane_sweep(engine="batched")`` does exactly that and records the
+reason string per fallback point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, cast
 
 import numpy as np
 
@@ -132,14 +149,10 @@ def supports(
         return f"router kind {kind!r} not supported (no array model)"
     if make_routing(config, routing_kind).adaptive:
         return f"adaptive routing {routing_kind!r} (route depends on run-time state)"
-    if config.link_latency != 1 or config.credit_latency != 1:
-        return "link/credit latency != 1 (event ring spans multiple cycles)"
     if observability is not None or maybe_create() is not None:
         return "observability enabled (tracing/metrics need per-object hooks)"
     if on_eject is not None:
         return "on_eject hook set (per-flit callback needs flit objects)"
-    if keep_samples:
-        return "keep_samples=True (per-packet samples kept scalar-side only)"
     V, P = config.router.num_vcs, config.router.num_ports
     if P * V > 62:
         return "num_ports * num_vcs > 62 (stage-2 requester bitmask width)"
@@ -163,21 +176,27 @@ class BatchedLaneEngine:
         lanes: List[LaneSpec],
         router_factory: Optional[RouterFactory] = None,
         routing_kind: str = "xy",
+        *,
+        keep_samples: bool = False,
+        pending: Optional[Iterable[LaneSpec]] = None,
     ) -> None:
-        reason = supports(config, router_factory, routing_kind)
+        reason = supports(
+            config, router_factory, routing_kind, keep_samples=keep_samples
+        )
         if reason is not None:
             raise ValueError(f"batched engine cannot run this config: {reason}")
         if not lanes:
             raise ValueError("need at least one lane")
         self.config = config
         self.sim_config = sim_config
-        self.lanes = lanes
+        self.lanes = list(lanes)
+        self.keep_samples = keep_samples
         self.protected = (
             getattr(router_factory, "router_kind", "baseline") == "protected"
         )
 
         rc = config.router
-        self.L = L = len(lanes)
+        self.L = L = len(self.lanes)
         self.R = R = config.num_nodes
         self.P = P = rc.num_ports
         self.V = V = rc.num_vcs
@@ -186,6 +205,15 @@ class BatchedLaneEngine:
         self.VV = rc.vcs_per_vnet
         self.PV = P * V
         self.rot = rc.bypass_rotation_period
+        self.link_lat = config.link_latency
+        self.cred_lat = config.credit_latency
+        # calendar span — mirrors ``EventScheduler``: an event written at
+        # cycle t with latency k lands in slot (t + k) % span, delivered
+        # when the read pointer reaches that slot k cycles later
+        self.span = max(self.link_lat, self.cred_lat) + 1
+        self._inject_until = (
+            sim_config.warmup_cycles + sim_config.measure_cycles
+        )
 
         # --- static wiring (shared by all lanes) -----------------------
         topo = Topology(config)
@@ -266,16 +294,29 @@ class BatchedLaneEngine:
         self.xq_slot = np.zeros(shape3, dtype=np.int32)
         self.xq_dest = np.zeros(shape3, dtype=np.int32)
 
-        # calendar events in flight (written at t, delivered at t+1);
-        # each kind is a tuple of parallel 1-D arrays or None
-        self._ev_flit: Optional[Tuple[np.ndarray, ...]] = None
-        self._ev_eject: Optional[Tuple[np.ndarray, ...]] = None
-        self._ev_credit: Optional[Tuple[np.ndarray, ...]] = None
-        self._ev_nic_credit: Optional[Tuple[np.ndarray, ...]] = None
-        self._ev_out_credit: Optional[Tuple[np.ndarray, ...]] = None
+        # calendar events in flight, one ring per event kind indexed by
+        # ``cycle % span``: flits/ejections are written ``link_latency``
+        # slots ahead, credits ``credit_latency`` slots ahead.  Each slot
+        # is a tuple of parallel 1-D arrays or None — within one span
+        # window every (slot, kind) pair is written by at most one cycle
+        # and each phase writes its kind at most once per cycle, so no
+        # same-slot merge is ever needed.
+        span = self.span
+        _Ring = List[Optional[Tuple[np.ndarray, ...]]]
+        self._ring_flit: _Ring = [None] * span
+        self._ring_eject: _Ring = [None] * span
+        self._ring_credit: _Ring = [None] * span
+        self._ring_nic_credit: _Ring = [None] * span
+        self._ring_out_credit: _Ring = [None] * span
+        self._rings = (
+            self._ring_flit, self._ring_eject, self._ring_credit,
+            self._ring_nic_credit, self._ring_out_credit,
+        )
 
         # --- scalar per-lane state -------------------------------------
-        self.net_stats = [NetworkStats() for _ in range(L)]
+        self.net_stats = [
+            NetworkStats(keep_samples=keep_samples) for _ in range(L)
+        ]
         self.rstats = np.zeros((L, len(_RS_IDX)), dtype=np.int64)
         #: per-lane packet table: pid -> [src, dest, vnet, len, creation,
         #: injection]; populated at enqueue, popped at tail ejection
@@ -293,10 +334,25 @@ class BatchedLaneEngine:
         self.end_cycle = [0] * L
         self._act = np.ones(L, dtype=bool)
 
+        # --- lane refill / streaming point queue -----------------------
+        # lanes run on local clocks: local cycle = global - off[lane];
+        # a retiring lane's slot is refilled from ``pending`` and its
+        # result decoded immediately, keyed by sweep point index
+        self._pending: deque = deque(pending or ())
+        self.off = [0] * L
+        self.lane_point = list(range(L))
+        self._next_point = L
+        self._results: List[Optional[SimulationResult]] = [None] * (
+            L + len(self._pending)
+        )
+        # lane-occupancy accounting (active lane-cycles / lane-cycles)
+        self.active_lane_cycles = 0
+        self.total_lane_cycles = 0
+
         # broadcast index helpers
         self._lane_ids = np.arange(L)
         self._any_schedules = any(
-            spec.fault_schedule is not None for spec in lanes
+            spec.fault_schedule is not None for spec in self.lanes
         )
         self._fault_arrays = {
             FaultUnit.RC_PRIMARY: self.f_rc1,
@@ -309,9 +365,6 @@ class BatchedLaneEngine:
             FaultUnit.XB_MUX: self.f_xbm,
             FaultUnit.XB_SECONDARY: self.f_xbs,
         }
-        # staging area for events written this cycle (delivered next cycle)
-        self._nx_flit = self._nx_eject = None
-        self._nx_credit = self._nx_nic_credit = self._nx_out_credit = None
 
     # ------------------------------------------------------------------
     # fault injection and crossbar path plans
@@ -323,7 +376,7 @@ class BatchedLaneEngine:
             sched = self.lanes[lane].fault_schedule
             if sched is None:
                 continue
-            for site in sched.due(cycle):
+            for site in sched.due(cycle - self.off[lane]):
                 if self._inject_site(lane, site):
                     self.faults_injected[lane] += 1
 
@@ -382,27 +435,22 @@ class BatchedLaneEngine:
     # ------------------------------------------------------------------
     # one vectorised cycle
     # ------------------------------------------------------------------
-    def _step(self, cycle: int, inject_traffic: bool) -> None:
-        """One cycle for every active lane — mirrors ``NoCSimulator._step``."""
+    def _step(self, cycle: int) -> None:
+        """One cycle for every active lane — mirrors ``NoCSimulator._step``.
+
+        Traffic injection gates itself per lane on the lane's *local*
+        inject window, so lanes installed mid-run warm up and drain on
+        their own clocks.
+        """
         if self._any_schedules:
             self._inject_lane_faults(cycle)
-        self._nx_flit = self._nx_eject = None
-        self._nx_credit = self._nx_nic_credit = self._nx_out_credit = None
-        self._xb_phase()
+        self._xb_phase(cycle)
         self._sa_phase(cycle)
         self._va_phase()
         self._rc_phase()
         self._dispatch(cycle)
-        if inject_traffic:
-            self._generate_traffic(cycle)
+        self._generate_traffic(cycle)
         self._nic_step(cycle)
-        # rotate the one-cycle event calendar: everything written during
-        # this cycle (XB deliveries, credit returns, ejection credits)
-        # is delivered by next cycle's dispatch
-        self._ev_flit, self._ev_eject = self._nx_flit, self._nx_eject
-        self._ev_credit = self._nx_credit
-        self._ev_nic_credit = self._nx_nic_credit
-        self._ev_out_credit = self._nx_out_credit
 
     @staticmethod
     def _rr_pick(
@@ -429,7 +477,7 @@ class BatchedLaneEngine:
         np.not_equal(sorted_key[1:], sorted_key[:-1], out=first[1:])
         return np.flatnonzero(first), np.cumsum(first) - 1
 
-    def _xb_phase(self) -> None:
+    def _xb_phase(self, cycle: int) -> None:
         """Traverse last cycle's SA winners — mirrors ``BaseRouter.xb_phase``."""
         if not self.xq_valid.any():
             return
@@ -471,15 +519,17 @@ class BatchedLaneEngine:
             ).astype(np.int8)
             self.vpid[lt, rt, pt, vt] = np.where(has_next, npid, -1)
 
+        wf = (cycle + self.link_lat) % self.span
+        wc = (cycle + self.cred_lat) % self.span
         local = dest == PORT_LOCAL
         if local.any():
-            self._nx_eject = (
+            self._ring_eject[wf] = (
                 lx[local], rx[local], ovc[local],
                 fpid[local], ffl[local], fhops[local],
             )
         rem = ~local
         if rem.any():
-            self._nx_flit = (
+            self._ring_flit[wf] = (
                 lx[rem],
                 self.link_dst[rx[rem], dest[rem]],
                 self.link_dport[rx[rem], dest[rem]],
@@ -489,10 +539,10 @@ class BatchedLaneEngine:
         # credit return toward whoever feeds this input port
         pl = px == PORT_LOCAL
         if pl.any():
-            self._nx_nic_credit = (lx[pl], rx[pl], wire[pl])
+            self._ring_nic_credit[wc] = (lx[pl], rx[pl], wire[pl])
         pr = ~pl
         if pr.any():
-            self._nx_credit = (
+            self._ring_credit[wc] = (
                 lx[pr],
                 self.up_node[rx[pr], px[pr]],
                 self.up_port[rx[pr], px[pr]],
@@ -552,11 +602,14 @@ class BatchedLaneEngine:
                     )
                 else:
                     # bypass path: grant the rotation default, or transfer
-                    # the first candidate into an idle default slot
-                    default = (cycle // self.rot) % self.V
+                    # the first candidate into an idle default slot (the
+                    # rotation runs on each lane's local clock)
                     bounds = np.append(starts, lc.size)
                     for g in np.flatnonzero(fa):
                         l0, r0, p0 = int(gl[g]), int(gr[g]), int(gp[g])
+                        default = (
+                            (cycle - self.off[l0]) // self.rot
+                        ) % self.V
                         if self.f_sa1b[l0, r0, p0]:
                             self.rstats[l0, _I_SA_BLOCK] += 1
                             continue
@@ -794,8 +847,10 @@ class BatchedLaneEngine:
     # event delivery and the NIC boundary
     # ------------------------------------------------------------------
     def _dispatch(self, cycle: int) -> None:
-        """Deliver last cycle's events — mirrors ``EventScheduler.dispatch``."""
-        ev = self._ev_flit
+        """Deliver this slot's events — mirrors ``EventScheduler.dispatch``."""
+        s = cycle % self.span
+        ev = self._ring_flit[s]
+        self._ring_flit[s] = None
         if ev is not None:
             keep = self._act[ev[0]]
             if not keep.all():
@@ -822,7 +877,8 @@ class BatchedLaneEngine:
                     self.vpid[il, ino, ipo, iph] = pid[idle]
                 for lane in np.unique(l):
                     self.last_progress[lane] = cycle
-        ev = self._ev_eject
+        ev = self._ring_eject[s]
+        self._ring_eject[s] = None
         oc_l: list = []
         oc_n: list = []
         oc_w: list = []
@@ -832,6 +888,7 @@ class BatchedLaneEngine:
             fin = self.fin
             lp = self.last_progress
             pinfo = self.pkt_info
+            off = self.off
             for lane, node, w, pid, flags, hops in zip(
                 ev[0].tolist(), ev[1].tolist(), ev[2].tolist(),
                 ev[3].tolist(), ev[4].tolist(), ev[5].tolist(),
@@ -855,21 +912,23 @@ class BatchedLaneEngine:
                         size_flits=info[3],
                         creation_cycle=info[4],
                         injection_cycle=info[5],
-                        ejection_cycle=cycle,
+                        ejection_cycle=cycle - off[lane],
                         hops=hops,
                     ))
         if oc_l:
-            self._nx_out_credit = (
+            self._ring_out_credit[(cycle + self.cred_lat) % self.span] = (
                 np.asarray(oc_l), np.asarray(oc_n), np.asarray(oc_w),
             )
-        ev = self._ev_credit
+        ev = self._ring_credit[s]
+        self._ring_credit[s] = None
         if ev is not None:
             keep = self._act[ev[0]]
             if not keep.all():
                 ev = tuple(a[keep] for a in ev)
             l, node, port, w = ev
             self.cred[l, node, port, w] += 1
-        ev = self._ev_nic_credit
+        ev = self._ring_nic_credit[s]
+        self._ring_nic_credit[s] = None
         if ev is not None:
             act = self._act
             nics = self.nics
@@ -878,7 +937,8 @@ class BatchedLaneEngine:
             ):
                 if act[lane]:
                     nics[lane][node].credits[w] += 1
-        ev = self._ev_out_credit
+        ev = self._ring_out_credit[s]
+        self._ring_out_credit[s] = None
         if ev is not None:
             keep = self._act[ev[0]]
             if not keep.all():
@@ -887,11 +947,15 @@ class BatchedLaneEngine:
             self.cred[l, node, PORT_LOCAL, w] += 1
 
     def _generate_traffic(self, cycle: int) -> None:
+        iu = self._inject_until
         for lane in range(self.L):
             if not self._act[lane]:
                 continue
+            local = cycle - self.off[lane]
+            if local >= iu:
+                continue
             spec = self.lanes[lane]
-            pkts = list(spec.traffic.generate(cycle))
+            pkts = list(spec.traffic.generate(local))
             if not pkts:
                 continue
             ns = self.net_stats[lane]
@@ -961,7 +1025,7 @@ class BatchedLaneEngine:
                     self.fin[lane] += 1
                     if idx == 0:
                         ns.packets_injected += 1
-                        info[pid][5] = cycle
+                        info[pid][5] = cycle - self.off[lane]
                     if idx == length - 1:
                         nic.alloc[d] = None
                         nic.active[vnet] = None
@@ -1007,60 +1071,151 @@ class BatchedLaneEngine:
     # run loop: shared cycle counter, independent lane retirement
     # ------------------------------------------------------------------
     def run(self) -> List[SimulationResult]:
-        """Run every lane to completion and decode per-lane results.
+        """Run every point to completion; results in point order.
 
-        Lanes share the cycle counter but block, drain and retire
-        independently, exactly where their serial runs would: watchdog
-        trips freeze a lane mid-flight; the drain predicate (no flits in
-        the network, no queued packets) retires it cleanly.
+        Lanes share the global cycle counter but run on their own local
+        clocks: each blocks, drains and retires exactly where its serial
+        run would (watchdog trips freeze a lane mid-flight; the drain
+        predicate — no flits in the network, no queued packets — retires
+        it cleanly).  Freed slots are refilled from the pending queue
+        until the whole point stream has run.
         """
         sc = self.sim_config
+        wd = sc.watchdog_cycles
         for ns in self.net_stats:
             ns.set_window(sc.warmup_cycles, sc.warmup_cycles + sc.measure_cycles)
-        inject_until = sc.warmup_cycles + sc.measure_cycles
+        inject_until = self._inject_until
+        horizon = inject_until + sc.drain_cycles
         cycle = 0
-        while cycle < inject_until and self._act.any():
-            self._step(cycle, True)
-            cycle += 1
-            self._check_watchdog(cycle)
-        deadline = cycle + sc.drain_cycles
-        while self._act.any() and cycle < deadline:
+        while True:
+            # per-lane retirement scan, in serial check order: watchdog
+            # first (it is evaluated before the loop predicates in
+            # ``NoCSimulator.run``), then the drain predicate / deadline
             for lane in np.flatnonzero(self._act):
-                if self.fin[lane] == 0 and self.lane_queued[lane] == 0:
-                    self._retire(int(lane), cycle, drained=True)
+                lane = int(lane)
+                if (
+                    self.fin[lane] > 0
+                    and cycle - self.last_progress[lane] > wd
+                ):
+                    self.blocked[lane] = True
+                    self._retire(lane, cycle, drained=False)
+                    continue
+                local = cycle - self.off[lane]
+                if local >= inject_until:
+                    done = (
+                        self.fin[lane] == 0 and self.lane_queued[lane] == 0
+                    )
+                    if done or local >= horizon:
+                        self._retire(lane, cycle, drained=done)
             if not self._act.any():
                 break
-            self._step(cycle, False)
+            self.active_lane_cycles += int(self._act.sum())
+            self.total_lane_cycles += self.L
+            self._step(cycle)
             cycle += 1
-            self._check_watchdog(cycle)
-        for lane in np.flatnonzero(self._act):
-            drained = self.fin[lane] == 0 and self.lane_queued[lane] == 0
-            self._retire(int(lane), cycle, drained=drained)
-        return [
-            SimulationResult(
-                stats=self.net_stats[lane],
-                cycles=self.end_cycle[lane],
-                blocked=self.blocked[lane],
-                drained=self.drained[lane],
-                router_stats=RouterStats(
-                    *(int(v) for v in self.rstats[lane])
-                ),
-                faults_injected=self.faults_injected[lane],
-            )
-            for lane in range(self.L)
-        ]
+        return cast(List[SimulationResult], list(self._results))
 
-    def _check_watchdog(self, cycle: int) -> None:
-        wd = self.sim_config.watchdog_cycles
-        for lane in np.flatnonzero(self._act):
-            if self.fin[lane] > 0 and cycle - self.last_progress[lane] > wd:
-                self.blocked[lane] = True
-                self._retire(int(lane), cycle, drained=False)
+    @property
+    def lane_occupancy(self) -> float:
+        """Fraction of lane slots active, averaged over the cycles run."""
+        if self.total_lane_cycles == 0:
+            return 1.0
+        return self.active_lane_cycles / self.total_lane_cycles
 
     def _retire(self, lane: int, cycle: int, drained: bool) -> None:
-        self.end_cycle[lane] = cycle
+        """Decode one finished lane's result, then refill its slot."""
+        local = cycle - self.off[lane]
+        self.end_cycle[lane] = local
         self.drained[lane] = drained
         self._act[lane] = False
+        self._results[self.lane_point[lane]] = SimulationResult(
+            stats=self.net_stats[lane],
+            cycles=local,
+            blocked=self.blocked[lane],
+            drained=drained,
+            router_stats=RouterStats(
+                *(int(v) for v in self.rstats[lane])
+            ),
+            faults_injected=self.faults_injected[lane],
+        )
+        if self._pending:
+            self._install_lane(lane, self._pending.popleft(), cycle)
+
+    def _install_lane(self, lane: int, spec: LaneSpec, cycle: int) -> None:
+        """Import the next pending point into a freed lane slot.
+
+        Every per-lane array slice and scalar returns to its power-on
+        value and the old occupant's stale in-flight events are purged
+        from the calendar rings, so the refilled lane is bit-identical
+        to the same point run in a fresh fabric — the array form of the
+        router ``import_state()`` seam.
+        """
+        rc = self.config.router
+        self.st[lane] = _IDLE
+        self.route[lane] = -1
+        self.outvc[lane] = -1
+        self.vpid[lane] = -1
+        self.excl[lane] = 0
+        self.pwire[lane] = np.arange(self.V, dtype=np.int32)
+        self.wphys[lane] = np.arange(self.V, dtype=np.int32)
+        self.b_pid[lane] = -1
+        self.b_dest[lane] = -1
+        self.b_hops[lane] = 0
+        self.b_flags[lane] = 0
+        self.b_head[lane] = 0
+        self.b_cnt[lane] = 0
+        self.cred[lane] = self.D
+        self.alloc[lane] = -1
+        self.va1_prio[lane] = 0
+        self.va2_prio[lane] = 0
+        self.sa1_prio[lane] = 0
+        self.sa2_prio[lane] = 0
+        for arr in self._fault_arrays.values():
+            arr[lane] = False
+        self.plan_ok[lane] = True
+        self.plan_arb[lane] = np.arange(self.P, dtype=np.int32)
+        self.plan_sec[lane] = False
+        self.xq_valid[lane] = False
+        self._purge_lane_events(lane)
+
+        ns = NetworkStats(keep_samples=self.keep_samples)
+        sc = self.sim_config
+        ns.set_window(sc.warmup_cycles, sc.warmup_cycles + sc.measure_cycles)
+        self.net_stats[lane] = ns
+        self.rstats[lane] = 0
+        self.pkt_info[lane] = {}
+        self.nics[lane] = [_LaneNic(rc) for _ in range(self.R)]
+        self.nic_active[lane] = set()
+        self.fin[lane] = 0
+        self.lane_queued[lane] = 0
+        self.last_progress[lane] = cycle
+        self.faults_injected[lane] = 0
+        self.blocked[lane] = False
+        self.drained[lane] = False
+        self.end_cycle[lane] = 0
+        self.off[lane] = cycle
+        self.lanes[lane] = spec
+        self.lane_point[lane] = self._next_point
+        self._next_point += 1
+        if spec.fault_schedule is not None:
+            self._any_schedules = True
+        self._act[lane] = True
+
+    def _purge_lane_events(self, lane: int) -> None:
+        """Drop a retired lane's stale in-flight events from every ring.
+
+        A watchdog-blocked lane retires with flits still on the wire;
+        without the purge, ``_dispatch``'s activity filter would deliver
+        them into the slot's next occupant.
+        """
+        for ring in self._rings:
+            for i, ev in enumerate(ring):
+                if ev is None:
+                    continue
+                keep = ev[0] != lane
+                ring[i] = (
+                    tuple(a[keep] for a in ev) if keep.any() else None
+                )
 
 
 def run_lanes(
@@ -1069,10 +1224,19 @@ def run_lanes(
     lanes: List[LaneSpec],
     router_factory: Optional[RouterFactory] = None,
     routing_kind: str = "xy",
+    *,
+    keep_samples: bool = False,
+    width: Optional[int] = None,
 ) -> List[SimulationResult]:
-    """Run a group of lanes through the batched engine (convenience)."""
+    """Run a group of lanes through the batched engine (convenience).
+
+    ``width`` caps the number of concurrent lane slots; the rest of the
+    points stream in through lane refill as slots free up.
+    """
+    w = len(lanes) if width is None else max(1, min(width, len(lanes)))
     return BatchedLaneEngine(
-        config, sim_config, lanes, router_factory, routing_kind
+        config, sim_config, lanes[:w], router_factory, routing_kind,
+        keep_samples=keep_samples, pending=lanes[w:],
     ).run()
 
 

@@ -240,6 +240,186 @@ class TestBatchedDifferential:
 
 
 # ----------------------------------------------------------------------
+# multi-cycle link/credit latency (per-edge delay rings)
+# ----------------------------------------------------------------------
+class TestMultiCycleLatency:
+    def _net_lat(self, link, credit, vcs=4, vnets=2):
+        return NetworkConfig(
+            width=4, height=3, link_latency=link, credit_latency=credit,
+            router=RouterConfig(num_vcs=vcs, num_vnets=vnets),
+        )
+
+    def test_link_latency_two(self):
+        net = self._net_lat(2, 1)
+
+        def specs():
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.05 + 0.03 * i,
+                        mix=COHERENCE_MIX, rng=400 + i,
+                    )
+                )
+                for i in range(3)
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "protected")
+
+    def test_credit_latency_three(self):
+        net = self._net_lat(1, 3)
+
+        def specs():
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.08, mix=COHERENCE_MIX,
+                        rng=410 + i,
+                    )
+                )
+                for i in range(2)
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "baseline")
+
+    def test_both_nonunit_with_faults(self):
+        net = self._net_lat(3, 2)
+
+        def specs():
+            schedules = spawn_lane_injectors(
+                net.router, net.num_nodes, 3, mean_interval=30.0,
+                num_faults=6, rng=88, first_fault_at=40,
+                avoid_failure=True,
+            )
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.07, mix=COHERENCE_MIX,
+                        rng=420 + i,
+                    ),
+                    schedules[i] if i % 2 else None,
+                )
+                for i in range(3)
+            ]
+
+        _assert_lanes_match(net, _sim_cfg(), specs, "protected")
+
+
+# ----------------------------------------------------------------------
+# keep_samples: per-flit latency sampling through the batched path
+# ----------------------------------------------------------------------
+class TestKeepSamples:
+    def test_samples_match_serial(self):
+        net = NetworkConfig(
+            width=4, height=4, link_latency=2,
+            router=RouterConfig(num_vcs=4, num_vnets=2),
+        )
+        cfg = _sim_cfg(measure=250)
+        factory = protected_router_factory(net)
+
+        def specs():
+            return [
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.08, mix=COHERENCE_MIX,
+                        rng=430 + i,
+                    )
+                )
+                for i in range(3)
+            ]
+
+        def sample_key(s):
+            # packet ids are allocation-order artefacts; everything the
+            # samples *measure* must match exactly
+            return (s.src, s.dest, s.injection_cycle, s.ejection_cycle,
+                    s.hops)
+
+        reset_packet_ids()
+        batched = run_lanes(
+            net, cfg, specs(), router_factory=factory, keep_samples=True
+        )
+        for lane, spec in enumerate(specs()):
+            reset_packet_ids()
+            ref = NoCSimulator(
+                net, cfg, spec.traffic, router_factory=factory,
+                keep_samples=True,
+            ).run()
+            got = sorted(sample_key(s) for s in batched[lane].stats.samples)
+            want = sorted(sample_key(s) for s in ref.stats.samples)
+            assert got, f"lane {lane} kept no samples"
+            assert got == want, f"lane {lane} samples diverged"
+            assert batched[lane].stats.latency_percentile(95) == ref.stats.latency_percentile(95)
+
+
+# ----------------------------------------------------------------------
+# lane refill: streaming pending points into retired slots
+# ----------------------------------------------------------------------
+class TestLaneRefill:
+    def _specs(self, net, n, seed0=200):
+        schedules = spawn_lane_injectors(
+            net.router, net.num_nodes, n, mean_interval=30.0,
+            num_faults=6, rng=123, first_fault_at=40, avoid_failure=True,
+        )
+        return [
+            LaneSpec(
+                SyntheticTraffic(
+                    net, injection_rate=0.04 + 0.01 * (i % 5),
+                    mix=COHERENCE_MIX, rng=seed0 + i,
+                ),
+                schedules[i] if i % 2 else None,
+            )
+            for i in range(n)
+        ]
+
+    def test_refill_golden_bit_identical(self):
+        """Every refilled point matches the same point run fresh."""
+        net = _net(4, 4, 4, 2)
+        cfg = _sim_cfg(measure=200)
+        factory = protected_router_factory(net)
+        reset_packet_ids()
+        batched = run_lanes(
+            net, cfg, self._specs(net, 8), router_factory=factory, width=2
+        )
+        refs = [
+            _event_reference(net, cfg, s, factory)
+            for s in self._specs(net, 8)
+        ]
+        assert len(batched) == 8
+        for i, (b, r) in enumerate(zip(batched, refs)):
+            assert _lane_key(b) == _lane_key(r), f"point {i} diverged"
+
+    def test_width_invariance(self):
+        """Any slot width yields the same per-point results."""
+        net = _net(4, 4, 4, 2)
+        cfg = _sim_cfg(measure=150)
+        factory = protected_router_factory(net)
+        reset_packet_ids()
+        wide = run_lanes(net, cfg, self._specs(net, 6), router_factory=factory)
+        reset_packet_ids()
+        narrow = run_lanes(
+            net, cfg, self._specs(net, 6), router_factory=factory, width=3
+        )
+        for i, (a, b) in enumerate(zip(wide, narrow)):
+            assert _lane_key(a) == _lane_key(b), f"point {i} diverged"
+
+    def test_occupancy_stays_dense_when_oversubscribed(self):
+        """4x oversubscription keeps the state arrays >= 90% occupied."""
+        from repro.network.batched import BatchedLaneEngine
+
+        net = _net(4, 4, 4, 2)
+        cfg = _sim_cfg(measure=200)
+        lanes = self._specs(net, 16)
+        engine = BatchedLaneEngine(
+            net, cfg, lanes[:4],
+            router_factory=protected_router_factory(net),
+            pending=lanes[4:],
+        )
+        results = engine.run()
+        assert len(results) == 16
+        assert all(r is not None for r in results)
+        assert engine.lane_occupancy >= 0.9
+
+
+# ----------------------------------------------------------------------
 # supports() gate
 # ----------------------------------------------------------------------
 class TestSupportsGate:
@@ -252,9 +432,19 @@ class TestSupportsGate:
         reason = supports(net, baseline_router_factory(net), "west_first")
         assert reason is not None and "adaptive" in reason
 
-    def test_nonunit_latency_declined(self):
-        net = NetworkConfig(width=3, height=3, link_latency=2)
-        assert supports(net, None, "xy") is not None
+    def test_nonunit_latency_supported(self):
+        """Multi-cycle link/credit latency batches via the delay rings."""
+        net = NetworkConfig(
+            width=3, height=3, link_latency=2, credit_latency=3
+        )
+        assert supports(net, baseline_router_factory(net), "xy") is None
+
+    def test_oversized_vc_space_declined(self):
+        net = NetworkConfig(
+            width=3, height=3, router=RouterConfig(num_vcs=16)
+        )
+        reason = supports(net, None, "xy")
+        assert reason is not None and "num_ports * num_vcs" in reason
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +479,10 @@ class TestRunLaneSweep:
         assert batched_report.fallbacks == 2
         assert event_report.fallbacks == 0
         assert "event-engine fallbacks" in batched_report.format()
+        # the *why* is threaded through to the report, not just a count
+        assert any("adaptive" in r for r in batched_report.fallback_reasons)
+        assert "fallback reasons:" in batched_report.format()
+        assert event_report.fallback_reasons == ()
         for i, (b, e) in enumerate(zip(batched_values, event_values)):
             assert b.stats.summary() == e.stats.summary(), f"point {i}"
             assert b.cycles == e.cycles
@@ -316,6 +510,53 @@ class TestRunLaneSweep:
             assert a.stats.summary() == b.stats.summary(), f"point {i}"
             assert a.cycles == b.cycles
             assert a.faults_injected == b.faults_injected
+
+    def test_lane_width_invariance_through_sweep(self):
+        """The streaming queue's slot width is a pure wall-clock knob."""
+        net = _net(4, 4, 4, 2)
+        sim_cfg = _sim_cfg(measure=150)
+        points = [
+            LanePoint(
+                config=net,
+                sim_config=sim_cfg,
+                make_traffic=_make_traffic,
+                traffic_args=(net, 0.03 + 0.01 * i, 21 + i),
+                router_kind="protected",
+                label=f"p{i}",
+            )
+            for i in range(6)
+        ]
+        wide_values, _ = run_lane_sweep(points)
+        narrow_values, narrow_report = run_lane_sweep(points, lane_width=2)
+        assert narrow_report.points == 6
+        for i, (a, b) in enumerate(zip(wide_values, narrow_values)):
+            assert a.stats.summary() == b.stats.summary(), f"point {i}"
+            assert a.cycles == b.cycles
+
+    def test_small_groups_fall_back_with_reason(self):
+        """Singleton structural groups skip the batched engine."""
+        net_a = _net(3, 3, 2, 2)
+        net_b = _net(4, 3, 2, 2)
+        points = [
+            LanePoint(
+                config=net,
+                sim_config=_sim_cfg(measure=100),
+                make_traffic=_make_traffic,
+                traffic_args=(net, 0.05, 31 + i),
+                router_kind="baseline",
+                label=f"solo{i}",
+            )
+            for i, net in enumerate((net_a, net_b))
+        ]
+        values, report = run_lane_sweep(points)
+        assert report.fallbacks == 2
+        assert any(
+            "below the lane batching threshold" in r
+            for r in report.fallback_reasons
+        )
+        event_values, _ = run_lane_sweep(points, engine="event")
+        for a, b in zip(values, event_values):
+            assert a.stats.summary() == b.stats.summary()
 
     def test_empty_sweep(self):
         values, report = run_lane_sweep([])
@@ -432,3 +673,40 @@ class TestRouterStateExport:
             len(s["faults"]["history"]) for s in states
         )
         assert total_faults == 10
+
+
+# ----------------------------------------------------------------------
+# streaming queue x resilient runtime: chunk-granular checkpoint/resume
+# ----------------------------------------------------------------------
+class TestLaneChunkResume:
+    """A killed lane sweep resumes bit-identically from its chunk
+    records (the batched analogue of ``TestSimulationResumeGolden`` in
+    ``tests/test_resilient.py``, which pins the per-point event path)."""
+
+    def _run(self, tmp_path, **kw):
+        from repro.experiments import fault_sweep
+        from repro.experiments.latency import QUICK_CONFIG
+
+        config = fault_sweep.FaultSweepConfig(
+            fault_counts=(0, 8, 16, 32), latency=QUICK_CONFIG, app="lu"
+        )
+        return fault_sweep.run(config, jobs=2, **kw)
+
+    def test_truncated_chunk_checkpoint_resume_matches(self, tmp_path):
+        full = self._run(tmp_path, out_dir=tmp_path / "run")
+        jsonl = tmp_path / "run" / "sweep-000.jsonl"
+        lines = jsonl.read_text().splitlines()
+        # 4 points, one structural group, jobs=2 -> two 2-lane chunks,
+        # each one durable record
+        assert len(lines) == 2
+        records = [__import__("json").loads(line) for line in lines]
+        assert sorted(r["points"] for r in records) == [2, 2]
+        # drop the last record: simulates a SIGKILL mid-sweep
+        jsonl.write_text(lines[0] + "\n")
+
+        resumed = self._run(tmp_path, resume=tmp_path / "run")
+        assert resumed.extras["rows"] == full.extras["rows"]
+        report = resumed.extras["sweep"]
+        assert report.points == 4
+        # point-accurate resume accounting: one chunk = two points
+        assert report.resumed == 2

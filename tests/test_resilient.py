@@ -272,13 +272,16 @@ class TestKillMidSweepGolden:
         assert 1 <= resumed["resumed"] <= 10
 
 
-def _fault_sweep_quick(out_dir=None, resume=None):
+def _fault_sweep_quick(out_dir=None, resume=None, engine="event"):
     from repro.experiments import fault_sweep
     from repro.experiments.latency import QUICK_CONFIG
 
     cfg = QUICK_CONFIG
+    # engine="event" checkpoints one record per point; the default
+    # batched engine checkpoints per lane *chunk* (see
+    # TestLaneChunkResume in tests/test_batched_engine.py)
     config = fault_sweep.FaultSweepConfig(
-        fault_counts=(0, 8), latency=cfg, app="lu"
+        fault_counts=(0, 8), latency=cfg, app="lu", engine=engine
     )
     return fault_sweep.run(config, out_dir=out_dir, resume=resume)
 

@@ -373,9 +373,13 @@ class TestServer:
                     "fault_sweep", TINY, stream=True,
                     on_point=points.append,
                 )
-                assert reply["points_streamed"] == len(points) == 2
-                labels = {p["label"] for p in points}
-                assert labels == {"ocean@0faults", "ocean@2faults"}
+                # the two fault counts share one structural key, so the
+                # lane sweep runs them as a single batched chunk: one
+                # streamed event covering both points
+                assert reply["points_streamed"] == 2
+                assert len(points) == 1
+                assert points[0]["points"] == 2
+                assert points[0]["label"] == "protected/xy lanes 0-1"
                 assert reply["result"]["rows"]
             finally:
                 await service.close()
@@ -462,7 +466,9 @@ class TestThreadLocalRuntime:
         cfg, _ = effective_config("fault_sweep", TINY)
         with sweep_runtime(progress=events.append):
             fault_sweep.run(cfg, jobs=2)
+        # jobs=2 splits the 2-point lane group into one chunk per worker
         assert {e["label"] for e in events} == {
-            "ocean@0faults", "ocean@2faults"
+            "protected/xy lanes 0-0", "protected/xy lanes 1-1"
         }
+        assert sum(e["points"] for e in events) == 2
         assert all(e["resumed"] is False for e in events)
