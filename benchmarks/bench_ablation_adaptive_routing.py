@@ -22,7 +22,7 @@ import pytest
 from conftest import run_once
 from repro.config import NetworkConfig, PORT_EAST, RouterConfig, SimulationConfig
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator
 from repro.router.flit import Packet
@@ -49,7 +49,7 @@ def diagonal_flows():
 
 def run(routing_kind: str, kill_output: bool, traffic=None):
     schedule = (
-        ScheduledFaultInjector(list(DEAD_OUTPUT)) if kill_output else None
+        ExplicitFaultSchedule(list(DEAD_OUTPUT)) if kill_output else None
     )
     if traffic is None:
         traffic = SyntheticTraffic(NET, injection_rate=0.08, rng=13)

@@ -16,7 +16,7 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator, baseline_router_factory
 from repro.traffic.generator import SyntheticTraffic
@@ -27,7 +27,7 @@ def run_router(protected: bool):
     victim = net.node_id(1, 1)
     # fault every VC's arbiter set except one: sharing carries the port
     # through; without sharing (baseline) the port wedges
-    schedule = ScheduledFaultInjector(
+    schedule = ExplicitFaultSchedule(
         [
             (0, FaultSite(victim, FaultUnit.VA1_ARBITER_SET, PORT_WEST, v))
             for v in range(3)

@@ -18,7 +18,7 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator, baseline_router_factory
 from repro.traffic.generator import SyntheticTraffic
@@ -29,7 +29,7 @@ def run_router(protected: bool, faulty: bool):
     victim = net.node_id(1, 1)
     schedule = None
     if faulty:
-        schedule = ScheduledFaultInjector(
+        schedule = ExplicitFaultSchedule(
             [(0, FaultSite(victim, FaultUnit.XB_MUX, PORT_EAST))]
         )
     factory = (

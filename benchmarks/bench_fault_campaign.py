@@ -1,0 +1,128 @@
+"""Engineering benchmark: online campaign machinery overhead.
+
+The campaign runner (:mod:`repro.experiments.fault_campaign`) adds a
+temporal layer on top of a plain fault sweep: mid-run timeline
+injection/healing, a per-router :class:`RecoveryMonitor`, and the
+degradation-report fold.  That layer must stay cheap — this bench runs
+the same simulated work both ways on the per-point event engine (the
+engine timeline points always fall back to) and asserts the campaign's
+per-point overhead vs a plain static fault sweep stays within 25 %.
+
+Set ``REPRO_BENCH_JSON=<path>`` to write the measurements as JSON (the
+CI ``benchmark-smoke`` job publishes them as the
+``BENCH_fault_campaign.json`` artifact and gates them with
+``compare_bench.py``).
+"""
+
+import time
+
+from conftest import run_once, write_bench_json
+from repro.experiments.fault_campaign import CampaignConfig, run
+from repro.experiments.latency import LatencyConfig, suite_traffic
+from repro.experiments.parallel import LanePoint, run_lane_sweep
+from repro.faults import RandomFaultSchedule, TimelineSpec
+
+TIMELINES = 4
+LATENCY = LatencyConfig(
+    width=4, height=4,
+    warmup_cycles=200, measure_cycles=1500, drain_cycles=2500, seed=9,
+)
+CAMPAIGN = CampaignConfig(
+    timelines=TIMELINES,
+    router_kinds=("protected",),
+    timeline=TimelineSpec(events=4, mean_interval=300.0),
+    latency=LATENCY,
+    app="lu",
+    engine="event",
+)
+
+
+def _static_schedule(net, events, seed):
+    """The plain-sweep counterpart: same fault count, fixed before run."""
+    return RandomFaultSchedule(
+        net.router, net.num_nodes, mean_interval=5.0, num_faults=events,
+        rng=seed + 101, first_fault_at=0, avoid_failure=True,
+    )
+
+
+def _plain_points():
+    """Mirror of the campaign's point list with static schedules."""
+    net = LATENCY.network()
+    sim_config = LATENCY.simulation()
+    points = [
+        LanePoint(
+            config=net,
+            sim_config=sim_config,
+            make_traffic=suite_traffic,
+            traffic_args=(net, CAMPAIGN.app, LATENCY.seed,
+                          LATENCY.rate_scale),
+            make_schedule=None,
+            schedule_args=(),
+            router_kind="protected",
+            label="plain/fault-free",
+        )
+    ]
+    for t in range(TIMELINES):
+        points.append(
+            LanePoint(
+                config=net,
+                sim_config=sim_config,
+                make_traffic=suite_traffic,
+                traffic_args=(net, CAMPAIGN.app, LATENCY.seed + t,
+                              LATENCY.rate_scale),
+                make_schedule=_static_schedule,
+                schedule_args=(net, CAMPAIGN.timeline.events, t),
+                router_kind="protected",
+                label=f"plain/static-{t}",
+            )
+        )
+    return points
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_campaign_overhead_vs_plain_fault_sweep(benchmark):
+    """Timelines + recovery monitoring vs a static sweep, same points."""
+    # warm both paths once so neither pays first-import costs
+    run_lane_sweep(_plain_points(), jobs=None, engine="event")
+
+    (_, plain_s) = _timed(
+        lambda: run_lane_sweep(_plain_points(), jobs=None, engine="event")
+    )
+
+    box = {}
+
+    def campaign():
+        out, box["s"] = _timed(lambda: run(CAMPAIGN, jobs=None))
+        return out
+
+    res = run_once(benchmark, campaign)
+    campaign_s = box["s"]
+
+    # the campaign did its job: temporal events measured end to end
+    row = res.extras["rows"][0]
+    assert row["kind"] == "protected"
+    assert row["events"] == TIMELINES * CAMPAIGN.timeline.events
+    assert all(
+        "mutates the fabric" in reason
+        for shard in res.extras["sweep"].shards
+        for reason in shard.fallback_reasons
+    )
+
+    ratio = campaign_s / plain_s
+    print(
+        f"\nfault campaign ({TIMELINES} timelines, event engine): "
+        f"plain {plain_s:.2f}s, campaign {campaign_s:.2f}s "
+        f"-> {ratio:.2f}x overhead"
+    )
+    write_bench_json({"fault_campaign_overhead_x": round(ratio, 2)})
+    # the acceptance budget: online machinery costs <= 25% over a plain
+    # fault sweep of the same simulated work (plus a small absolute
+    # allowance so sub-second runs don't gate on scheduler noise)
+    assert campaign_s <= plain_s * 1.25 + 0.5, (
+        f"campaign overhead out of bounds: {ratio:.2f}x"
+    )

@@ -20,7 +20,7 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator
 from repro.traffic.generator import SyntheticTraffic
@@ -44,7 +44,7 @@ def run(factory):
                          drain_cycles=2500, seed=17, watchdog_cycles=1000),
         SyntheticTraffic(NET, injection_rate=0.08, rng=17),
         router_factory=factory,
-        fault_schedule=ScheduledFaultInjector(list(ROW_BARRAGE)),
+        fault_schedule=ExplicitFaultSchedule(list(ROW_BARRAGE)),
     )
     return sim.run()
 

@@ -16,7 +16,7 @@ Run:  python examples/fault_tolerant_noc.py
 
 from repro.config import NetworkConfig, RouterConfig, SimulationConfig
 from repro.core import protected_router_factory
-from repro.faults import FaultSite, FaultUnit, ScheduledFaultInjector
+from repro.faults import FaultSite, FaultUnit, ExplicitFaultSchedule
 from repro.network import NoCSimulator, baseline_router_factory
 from repro.traffic import SyntheticTraffic
 
@@ -56,7 +56,7 @@ def run(protected: bool, faults, label: str):
         sim_config,
         traffic,
         router_factory=factory,
-        fault_schedule=ScheduledFaultInjector(faults) if faults else None,
+        fault_schedule=ExplicitFaultSchedule(faults) if faults else None,
     )
     result = sim.run()
     status = "BLOCKED (watchdog)" if result.blocked else (

@@ -57,6 +57,12 @@ _LAZY = {
     # experiment harness
     "run_experiment": ("repro.experiments", "run_experiment"),
     "ExperimentResult": ("repro.experiments", "ExperimentResult"),
+    # unified fault-schedule API + online campaigns (docs/campaigns.md)
+    "FaultSchedule": ("repro.faults", "FaultSchedule"),
+    "FaultTimeline": ("repro.faults", "FaultTimeline"),
+    "make_schedule": ("repro.faults", "make_schedule"),
+    "CampaignConfig": ("repro.experiments.fault_campaign", "CampaignConfig"),
+    "run_fault_campaign": ("repro.experiments.fault_campaign", "run"),
     # observability
     "Observability": ("repro.observability", "Observability"),
     "ObservabilityConfig": ("repro.observability", "ObservabilityConfig"),
@@ -71,9 +77,12 @@ _DEPRECATED = {
 
 __all__ = [
     "BaselineRouter",
+    "CampaignConfig",
     "CheckpointStore",
     "EventTracer",
     "ExperimentResult",
+    "FaultSchedule",
+    "FaultTimeline",
     "MetricsRegistry",
     "NetworkConfig",
     "NoCSimulator",
@@ -91,7 +100,9 @@ __all__ = [
     "SweepError",
     "SweepReport",
     "SweepTask",
+    "make_schedule",
     "run_experiment",
+    "run_fault_campaign",
     "run_sweep",
     "map_sweep",
     "sweep_runtime",

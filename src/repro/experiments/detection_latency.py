@@ -28,7 +28,7 @@ import numpy as np
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
 from ..faults.detection import NetworkDetector
-from ..faults.injector import RandomFaultInjector
+from ..faults.injector import RandomFaultSchedule
 from ..network.simulator import NoCSimulator
 from ..traffic.generator import SyntheticTraffic
 from .report import ExperimentResult, override_seed, take_legacy
@@ -84,7 +84,7 @@ def _run_experiment(config: DetectionLatencyConfig) -> ExperimentResult:
     net = NetworkConfig(
         width=width, height=height, router=RouterConfig(num_vcs=4)
     )
-    injector = RandomFaultInjector(
+    injector = RandomFaultSchedule(
         net.router,
         net.num_nodes,
         mean_interval=measure_cycles / (2 * num_faults),

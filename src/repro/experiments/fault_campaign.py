@@ -1,0 +1,419 @@
+"""Experiment ``fault_campaign`` — online fault-injection campaigns.
+
+The paper evaluates reliability with faults fixed before cycle 0 and
+latency with faults landed during warmup; a *campaign* instead replays
+many seeded :class:`repro.faults.timeline.FaultTimeline` objects —
+arrival-time-stamped permanent and transient fault events drawn from the
+Section VII FIT model's arrival process — against live traffic, and
+measures the temporal story the static experiments cannot see:
+
+* **detection latency** — fault landing to the first watched counter
+  moving (mechanism counters on the protected router, blocked-pipeline
+  symptoms elsewhere);
+* **time-to-recover** — landing to the first flit demonstrably served
+  by the reconfigured datapath;
+* **in-flight exposure** — flits buffered in the hit router at landing
+  (the traffic at risk during reconfiguration) and flits stranded in
+  never-recovered routers at end of run;
+* **post-fault saturation shift** — measured latency under the campaign
+  vs the fault-free reference of the same traffic.
+
+Each timeline is one sweep point of the resilient runtime: checkpointed
+the moment it finishes, resumable after a kill, watchdogged.  Timelines
+mutate the fabric mid-run (heals / reconfiguration), which the batched
+lane engine cannot express — ``repro.network.batched.supports`` declines
+them via the factory's ``mutates_fabric`` marker and the sweep layer
+falls back to the per-point event engine, so the existing
+``run_lane_sweep`` reporting covers the campaign with zero new plumbing.
+
+The **degradation-over-lifetime report** joins the FIT model back in:
+the per-router failure rate converts measured per-event recovery into
+expected yearly fault counts, downtime and flit loss per router kind,
+with analytic BulletProof and Vicis rows for the comparison designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..config import NetworkConfig
+from ..faults.schedule import TimelineSpec, make_schedule
+from ..faults.timeline import CYCLES_PER_HOUR_1GHZ
+from .latency import QUICK_CONFIG, LatencyConfig, suite_traffic
+from .report import ExperimentResult, take_legacy
+from .resilient import sweep_runtime
+
+try:  # dataclasses.replace via the config helper
+    from ..config import replace
+except ImportError:  # pragma: no cover
+    from dataclasses import replace
+
+#: hours in a (non-leap) year, for the lifetime join
+HOURS_PER_YEAR = 8760.0
+
+#: router kinds the campaign simulates live (the analytic comparison
+#: designs — BulletProof, Vicis — join the report as model rows)
+DEFAULT_ROUTER_KINDS = ("baseline", "protected", "roco")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Unified-API config of the online fault-injection campaign.
+
+    ``timeline`` is the *template* spec: timeline ``t`` of the campaign
+    runs ``replace(timeline, seed=timeline.seed + t)``, so a campaign is
+    fully described by the template plus ``timelines`` — submittable as
+    JSON to :mod:`repro.service` and cache-keyed soundly.  Every router
+    kind replays the *same* timelines (same seeds, same traffic), so
+    per-kind rows differ only by the router's recovery behaviour.
+    """
+
+    timelines: int = 12
+    router_kinds: tuple[str, ...] = DEFAULT_ROUTER_KINDS
+    timeline: TimelineSpec = TimelineSpec()
+    app: str = "ocean"
+    latency: Optional[LatencyConfig] = None
+    #: simulated-hours join: cycles per wall-clock hour of the modelled
+    #: silicon (1 GHz by default); only the lifetime report uses it
+    cycles_per_hour: float = CYCLES_PER_HOUR_1GHZ
+    #: execution engine for the sweep layer; timeline points always fall
+    #: back to the event engine (``mutates_fabric``), so this only
+    #: affects the fault-free reference points
+    engine: str = "batched"
+
+
+def campaign_schedule(net: NetworkConfig, spec: TimelineSpec):
+    """Build one campaign timeline (module-level, picklable factory)."""
+    return make_schedule(spec, config=net.router, num_routers=net.num_nodes)
+
+
+#: timelines heal/reconfigure mid-run: the batched lane engine declines
+#: this factory (``repro.network.batched.supports``) and the sweep layer
+#: runs its points on the per-point event engine
+campaign_schedule.mutates_fabric = True  # type: ignore[attr-defined]
+
+
+def run(
+    config: Optional[CampaignConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    out_dir=None,
+    resume=None,
+    **legacy,
+) -> ExperimentResult:
+    """Unified entry point (``run(config, *, jobs, seed, out_dir, resume)``).
+
+    ``out_dir``/``resume`` attach the resilient runtime: every finished
+    timeline is checkpointed and a killed campaign resumes bit-identical
+    at timeline granularity.
+    """
+    if legacy:
+        take_legacy("fault_campaign", legacy, {"timelines", "cfg"})
+        base = config or CampaignConfig()
+        config = replace(
+            base,
+            timelines=legacy.get("timelines", base.timelines),
+            latency=legacy.get("cfg", base.latency),
+        )
+    config = config or CampaignConfig()
+    cfg = config.latency
+    if seed is not None:
+        cfg = replace(cfg or QUICK_CONFIG, seed=seed)
+    with sweep_runtime(out_dir=out_dir, resume=resume):
+        return _run_experiment(config, cfg, jobs)
+
+
+def _run_experiment(
+    config: CampaignConfig,
+    cfg: LatencyConfig | None,
+    jobs: Optional[int],
+) -> ExperimentResult:
+    from .parallel import LanePoint, run_lane_sweep
+
+    if config.timelines < 1:
+        raise ValueError("timelines must be >= 1")
+    if not config.router_kinds:
+        raise ValueError("router_kinds must not be empty")
+    cfg = cfg or QUICK_CONFIG
+    net = cfg.network()
+    sim_config = cfg.simulation()
+    specs = [
+        replace(config.timeline, seed=config.timeline.seed + cfg.seed + t)
+        for t in range(config.timelines)
+    ]
+
+    # one fault-free reference plus every timeline, per router kind; the
+    # same seeds everywhere so kinds differ only in recovery behaviour
+    points: list[LanePoint] = []
+    placement: list[tuple[str, Optional[int]]] = []
+    for kind in config.router_kinds:
+        points.append(
+            LanePoint(
+                config=net,
+                sim_config=sim_config,
+                make_traffic=suite_traffic,
+                traffic_args=(net, config.app, cfg.seed, cfg.rate_scale),
+                make_schedule=None,
+                schedule_args=(),
+                router_kind=kind,
+                label=f"{kind}/fault-free",
+            )
+        )
+        placement.append((kind, None))
+        for t, spec in enumerate(specs):
+            points.append(
+                LanePoint(
+                    config=net,
+                    sim_config=sim_config,
+                    make_traffic=suite_traffic,
+                    traffic_args=(
+                        net, config.app, cfg.seed + t, cfg.rate_scale
+                    ),
+                    make_schedule=campaign_schedule,
+                    schedule_args=(net, spec),
+                    router_kind=kind,
+                    label=f"{kind}/timeline-{t}",
+                )
+            )
+            placement.append((kind, t))
+    results, sweep_report = run_lane_sweep(
+        points, jobs=jobs, engine=config.engine
+    )
+
+    per_kind = {k: _KindAccumulator(k) for k in config.router_kinds}
+    for (kind, t), result in zip(placement, results):
+        acc = per_kind[kind]
+        if t is None:
+            acc.take_reference(result)
+        else:
+            acc.take_timeline(result)
+
+    rows = [
+        acc.row(net, config.cycles_per_hour) for acc in per_kind.values()
+    ]
+    analytic = _analytic_rows(net, cfg.seed)
+
+    res = ExperimentResult(
+        "fault_campaign",
+        "online fault timelines: detection, recovery, lifetime degradation"
+        " (extension)",
+    )
+    for row in rows:
+        k = row["kind"]
+        res.add(f"{k}: fault events", row["events"], None)
+        res.add(
+            f"{k}: recovered fraction", round(row["recovered_frac"], 3), None
+        )
+        if row["mean_detection_latency"] is not None:
+            res.add(
+                f"{k}: mean detection latency",
+                round(row["mean_detection_latency"], 1),
+                None,
+                unit="cycles",
+            )
+        if row["mean_time_to_recover"] is not None:
+            res.add(
+                f"{k}: mean time to recover",
+                round(row["mean_time_to_recover"], 1),
+                None,
+                unit="cycles",
+            )
+        res.add(
+            f"{k}: expected events per year",
+            round(row["events_per_year"], 4),
+            None,
+        )
+    res.add(
+        "fault-free references carry no recovery log",
+        all(acc.reference_recovery is None for acc in per_kind.values()),
+        True,
+    )
+    res.add(
+        "every timeline produced a recovery log",
+        all(acc.missing_logs == 0 for acc in per_kind.values()),
+        True,
+    )
+    landed = sum(row["events"] for row in rows)
+    res.add("campaign delivered fault events", landed > 0, True)
+    if "protected" in per_kind:
+        prot = per_kind["protected"].row(net, config.cycles_per_hour)
+        res.add(
+            "protected mesh recovers from landed faults",
+            prot["events"] == 0 or prot["recovered_frac"] > 0.0,
+            True,
+        )
+    res.extras["rows"] = rows
+    res.extras["degradation"] = {
+        "simulated": rows,
+        "analytic": analytic,
+        "cycles_per_hour": config.cycles_per_hour,
+        "timelines": config.timelines,
+    }
+    res.extras["sweep"] = sweep_report
+    from .charts import curve
+
+    years = [float(y) for y in range(1, 11)]
+    ref = rows[0]
+    res.extras["chart"] = curve(
+        years,
+        [y * ref["events_per_year"] for y in years],
+        x_label="years",
+        y_label=f"faults ({ref['kind']})",
+    )
+    return res
+
+
+class _KindAccumulator:
+    """Folds one router kind's reference + timeline results into a row."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.reference_latency = float("nan")
+        self.reference_recovery: Optional[dict] = None
+        self.runs = 0
+        self.blocked = 0
+        self.missing_logs = 0
+        self.events = 0
+        self.detected = 0
+        self.recovered = 0
+        self.healed = 0
+        self.latent = 0
+        self.exposed = 0
+        self.stranded = 0
+        self._det_sum = 0.0
+        self._rec_sum = 0.0
+        self._lat_sum = 0.0
+        self._lat_n = 0
+
+    def take_reference(self, result: Any) -> None:
+        self.reference_latency = result.avg_network_latency
+        self.reference_recovery = result.recovery
+
+    def take_timeline(self, result: Any) -> None:
+        self.runs += 1
+        if result.blocked:
+            self.blocked += 1
+        else:
+            self._lat_sum += result.avg_network_latency
+            self._lat_n += 1
+        rec = result.recovery
+        if rec is None:
+            self.missing_logs += 1
+            return
+        self.events += rec["events"]
+        self.detected += rec["detected"]
+        self.recovered += rec["recovered"]
+        self.healed += rec["healed"]
+        self.latent += rec["latent"]
+        self.exposed += rec["exposed_flits"]
+        self.stranded += rec["stranded_flits"]
+        if rec["mean_detection_latency"] is not None:
+            self._det_sum += rec["mean_detection_latency"] * rec["detected"]
+        if rec["mean_time_to_recover"] is not None:
+            self._rec_sum += rec["mean_time_to_recover"] * rec["recovered"]
+
+    def row(self, net: NetworkConfig, cycles_per_hour: float) -> dict:
+        """One degradation-report row: measured recovery + FIT join."""
+        fit = _fit_per_router(net, protected=self.kind == "protected")
+        rate_per_hour = net.num_nodes * fit / 1e9
+        mtbf_hours = 1.0 / rate_per_hour
+        events_per_year = HOURS_PER_YEAR / mtbf_hours
+        mean_det = self._det_sum / self.detected if self.detected else None
+        mean_rec = self._rec_sum / self.recovered if self.recovered else None
+        campaign_latency = (
+            self._lat_sum / self._lat_n if self._lat_n else float("nan")
+        )
+        saturation_shift = (
+            campaign_latency / self.reference_latency - 1.0
+            if self._lat_n and self.reference_latency == self.reference_latency
+            else None
+        )
+        downtime_s = (
+            events_per_year
+            * (self.recovered / self.events)
+            * (mean_rec / cycles_per_hour)
+            * 3600.0
+            if self.events and mean_rec is not None
+            else 0.0
+        )
+        return {
+            "kind": self.kind,
+            "analytic": False,
+            "runs": self.runs,
+            "blocked_runs": self.blocked,
+            "events": self.events,
+            "detected_frac": self.detected / self.events if self.events else 0.0,
+            "recovered_frac": (
+                self.recovered / self.events if self.events else 0.0
+            ),
+            "healed": self.healed,
+            "latent": self.latent,
+            "mean_detection_latency": mean_det,
+            "mean_time_to_recover": mean_rec,
+            "exposed_flits": self.exposed,
+            "stranded_flits": self.stranded,
+            "fault_free_latency": self.reference_latency,
+            "campaign_latency": campaign_latency,
+            "saturation_shift": saturation_shift,
+            "fit_per_router": fit,
+            "network_mtbf_hours": mtbf_hours,
+            "events_per_year": events_per_year,
+            "recovery_downtime_s_per_year": downtime_s,
+            "stranded_flits_per_year": (
+                events_per_year * self.stranded / self.events
+                if self.events
+                else 0.0
+            ),
+        }
+
+
+def _fit_per_router(net: NetworkConfig, *, protected: bool) -> float:
+    """Per-router SOFR from the Section VII stage inventories."""
+    from ..reliability.stages import (
+        RouterGeometry,
+        baseline_stages,
+        correction_stages,
+        total_fit,
+    )
+
+    geom = RouterGeometry.from_mesh(
+        net.num_nodes,
+        num_ports=net.router.num_ports,
+        num_vcs=net.router.num_vcs,
+    )
+    fit = total_fit(baseline_stages(geom))
+    if protected:
+        fit += total_fit(correction_stages(geom))
+    return fit
+
+
+def _analytic_rows(net: NetworkConfig, seed: int) -> list[dict]:
+    """Model rows for the comparison designs (no live simulation)."""
+    from ..comparison import BulletProofModel, VicisModel
+
+    fit = _fit_per_router(net, protected=False)
+    mtbf_hours = 1e9 / (net.num_nodes * fit)
+    rows = []
+    for name, model in (
+        ("bulletproof", BulletProofModel()),
+        ("vicis", VicisModel()),
+    ):
+        mean_faults = float(
+            model.monte_carlo_faults_to_failure(trials=2000, rng=seed)
+        )
+        rows.append(
+            {
+                "kind": name,
+                "analytic": True,
+                "mean_faults_to_failure": mean_faults,
+                "spf": model.spf(),
+                "area_overhead": model.area_overhead,
+                "events_per_year": HOURS_PER_YEAR / mtbf_hours,
+                "expected_years_to_failure": (
+                    mean_faults * mtbf_hours / HOURS_PER_YEAR
+                ),
+            }
+        )
+    return rows

@@ -9,7 +9,7 @@ random over the warmup window) so the measurement window observes the
 steady-state latency of a network *tolerating* the faults — matching what
 Figures 7/8 report.  Fault sites are drawn with ``avoid_failure=True``:
 a failed router measures availability, not latency (see
-:class:`repro.faults.injector.RandomFaultInjector`).
+:class:`repro.faults.injector.RandomFaultSchedule`).
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
 from ..core.protected_router import protected_router_factory
-from ..faults.injector import RandomFaultInjector
+from ..faults.injector import RandomFaultSchedule
 from ..network import warm
 from ..network.simulator import SimulationResult
 from ..traffic.apps import AppProfile, make_app_traffic, suite_profiles
@@ -153,14 +153,14 @@ def suite_traffic(
 
 def suite_schedule(
     net: NetworkConfig, warmup_cycles: int, num_faults: int, seed: int
-) -> RandomFaultInjector:
+) -> RandomFaultSchedule:
     """Fault-schedule factory for one suite point (module-level).
 
     All faults land during warmup so the measurement window sees the
     steady state — identical construction to :func:`run_app`'s faulty
     branch (uniform over ``[0, warmup)``, paper-style uniform gaps).
     """
-    return RandomFaultInjector(
+    return RandomFaultSchedule(
         net.router,
         net.num_nodes,
         mean_interval=max(1.0, warmup_cycles / (2 * num_faults)),
@@ -185,7 +185,7 @@ def run_app(
     if faulty:
         # all faults land during warmup so the measurement window sees the
         # steady state (uniform over [0, warmup), paper-style uniform gaps)
-        schedule = RandomFaultInjector(
+        schedule = RandomFaultSchedule(
             net.router,
             net.num_nodes,
             mean_interval=max(1.0, cfg.warmup_cycles / (2 * cfg.num_faults)),

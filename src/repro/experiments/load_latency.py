@@ -16,7 +16,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..config import NetworkConfig, RouterConfig, SimulationConfig
-from ..faults.injector import RandomFaultInjector
+from ..faults.injector import RandomFaultSchedule
 from ..traffic.generator import SyntheticTraffic
 from .report import ExperimentResult, override_seed, take_legacy
 from .resilient import sweep_runtime
@@ -57,8 +57,8 @@ def _make_traffic(net: NetworkConfig, rate: float, seed: int) -> SyntheticTraffi
     return SyntheticTraffic(net, injection_rate=rate, mix=COHERENCE_MIX, rng=seed)
 
 
-def _make_schedule(net: NetworkConfig, faults: int, seed: int) -> RandomFaultInjector:
-    return RandomFaultInjector(
+def _make_schedule(net: NetworkConfig, faults: int, seed: int) -> RandomFaultSchedule:
+    return RandomFaultSchedule(
         net.router, net.num_nodes, mean_interval=5.0, num_faults=faults,
         rng=seed + 101, first_fault_at=0, avoid_failure=True,
     )

@@ -656,6 +656,10 @@ def _resolve_factory(kind: str, config: NetworkConfig):
         from ..core.protected_router import protected_router_factory
 
         return protected_router_factory(config)
+    if kind == "roco":
+        from ..comparison.roco_router import roco_router_factory
+
+        return roco_router_factory(config)
     raise ValueError(f"unknown router_kind {kind!r}")
 
 
@@ -824,10 +828,24 @@ def run_lane_sweep(
         fallback: list[tuple[list[int], str]] = []
         for idxs in groups.values():
             rep = points[idxs[0]]
+            # the representative's schedule factory may be None (e.g. a
+            # fault-free reference point sharing the group): judge the
+            # group by its most demanding schedule factory
+            sched_factory = next(
+                (
+                    points[j].make_schedule
+                    for j in idxs
+                    if getattr(
+                        points[j].make_schedule, "mutates_fabric", False
+                    )
+                ),
+                rep.make_schedule,
+            )
             reason = batched_supports(
                 rep.config,
                 _resolve_factory(rep.router_kind, rep.config),
                 rep.routing_kind,
+                schedule_factory=sched_factory,
             )
             if reason is None and len(idxs) < _MIN_LANE_GROUP:
                 reason = (

@@ -60,6 +60,7 @@ from . import (
     design_space,
     detection_latency,
     energy,
+    fault_campaign,
     fault_sweep,
     fig7,
     fig8,
@@ -164,6 +165,16 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
             fault_counts=(0, 8, 24)
         ),
     ),
+    "fault_campaign": ExperimentEntry(
+        fault_campaign,
+        quick_config=lambda: fault_campaign.CampaignConfig(
+            timelines=3,
+            router_kinds=("baseline", "protected"),
+            timeline=fault_campaign.TimelineSpec(
+                events=4, mean_interval=600.0
+            ),
+        ),
+    ),
     "design_space": ExperimentEntry(
         design_space,
         quick_config=lambda: design_space.DesignSpaceConfig(
@@ -178,6 +189,7 @@ PARALLEL_EXPERIMENTS = frozenset(
     {
         "fig7",
         "fig8",
+        "fault_campaign",
         "fault_sweep",
         "load_latency",
         "design_space",

@@ -6,11 +6,15 @@ small, the applications need to run for a long time ... To accelerate
 simulations, we inject faults based on a uniform random variable with a
 mean of 10 million cycles."
 
-Python cycle budgets are smaller still, so :class:`RandomFaultInjector`
+Python cycle budgets are smaller still, so :class:`RandomFaultSchedule`
 takes the mean inter-fault interval as a parameter; experiment configs
 scale it so each run sees a comparable *number* of faults to the paper's
 runs (documented per experiment in EXPERIMENTS.md).  A deterministic
-:class:`ScheduledFaultInjector` supports exact test scenarios.
+:class:`ExplicitFaultSchedule` supports exact test scenarios.
+
+Every class here implements the :class:`repro.faults.schedule.FaultSchedule`
+protocol (``events_at`` / ``next_cycle`` / ``fingerprint``); the pre-2.0
+``*FaultInjector`` names remain as ``DeprecationWarning`` shims.
 """
 
 from __future__ import annotations
@@ -20,10 +24,21 @@ from typing import Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from ..config import RouterConfig
+from .schedule import (
+    NullSpec,
+    RandomSpec,
+    ScheduledSpec,
+    _require_geometry,
+    register_schedule,
+    schedule_digest,
+    site_from_tuple,
+    site_token,
+    warn_legacy,
+)
 from .sites import FaultSite, enumerate_sites
 
 
-class ScheduledFaultInjector:
+class ExplicitFaultSchedule:
     """Injects an explicit list of ``(cycle, FaultSite)`` pairs."""
 
     def __init__(self, schedule: Iterable[tuple[int, FaultSite]]) -> None:
@@ -31,21 +46,42 @@ class ScheduledFaultInjector:
         self._cycles = [c for c, _ in items]
         self._sites = [s for _, s in items]
         self._next = 0
+        self._fingerprint: Optional[str] = None
 
-    def due(self, cycle: int) -> Iterator[FaultSite]:
+    def events_at(self, cycle: int) -> Iterator[FaultSite]:
+        """Consume and yield the sites due at (or before) ``cycle``."""
         while self._next < len(self._cycles) and self._cycles[self._next] <= cycle:
             yield self._sites[self._next]
             self._next += 1
 
+    #: simulator-facing alias kept so pre-Protocol call sites keep working
+    due = events_at
+
     def next_cycle(self) -> Optional[int]:
         """Cycle of the next pending fault, or ``None`` when exhausted.
 
-        FaultSchedule lookahead extension: the event-driven engine arms a
-        wake event here so skip-ahead never jumps over a fault arrival.
+        The event-driven engine arms a wake event here so skip-ahead
+        never jumps over a fault arrival.
         """
         if self._next < len(self._cycles):
             return self._cycles[self._next]
         return None
+
+    def fingerprint(self) -> str:
+        """Content digest over the *full* planned event list.
+
+        Deliberately independent of consumption state: a partially
+        delivered schedule still names the same computation.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = schedule_digest(
+                "scheduled",
+                (
+                    f"{c}@{site_token(s)}"
+                    for c, s in zip(self._cycles, self._sites)
+                ),
+            )
+        return self._fingerprint
 
     @property
     def remaining(self) -> int:
@@ -56,7 +92,7 @@ class ScheduledFaultInjector:
         return list(zip(self._cycles, self._sites))
 
 
-class RandomFaultInjector(ScheduledFaultInjector):
+class RandomFaultSchedule(ExplicitFaultSchedule):
     """Pre-draws a random schedule over a network's fault sites.
 
     Inter-fault gaps are ``Uniform(0, 2*mean)`` (mean = ``mean_interval``),
@@ -152,14 +188,76 @@ class RandomFaultInjector(ScheduledFaultInjector):
         return picked
 
 
-class NullFaultInjector:
+class NullFaultSchedule:
     """No faults (fault-free runs)."""
 
-    def due(self, cycle: int) -> Iterator[FaultSite]:
+    def events_at(self, cycle: int) -> Iterator[FaultSite]:
         return iter(())
+
+    due = events_at
 
     def next_cycle(self) -> Optional[int]:
         return None
+
+    def fingerprint(self) -> str:
+        return "none:0"
+
+
+# ----------------------------------------------------------------------
+# spec builders (make_schedule registry)
+# ----------------------------------------------------------------------
+@register_schedule("scheduled", ScheduledSpec)
+def _build_scheduled(spec: ScheduledSpec, *, config=None, num_routers=None):
+    return ExplicitFaultSchedule(
+        (c, site_from_tuple(row)) for c, *row in spec.events
+    )
+
+
+@register_schedule("random", RandomSpec)
+def _build_random(spec: RandomSpec, *, config=None, num_routers=None):
+    config, num_routers = _require_geometry("random", config, num_routers)
+    return RandomFaultSchedule(
+        config,
+        num_routers,
+        spec.mean_interval,
+        spec.num_faults,
+        rng=spec.seed,
+        protected=spec.protected,
+        first_fault_at=spec.first_fault_at,
+        include_va2=spec.include_va2,
+        avoid_failure=spec.avoid_failure,
+    )
+
+
+@register_schedule("none", NullSpec)
+def _build_null(spec: NullSpec, *, config=None, num_routers=None):
+    return NullFaultSchedule()
+
+
+# ----------------------------------------------------------------------
+# pre-2.0 constructor shims
+# ----------------------------------------------------------------------
+class ScheduledFaultInjector(ExplicitFaultSchedule):
+    """Deprecated alias of :class:`ExplicitFaultSchedule` (removal: 2.0)."""
+
+    def __init__(self, schedule: Iterable[tuple[int, FaultSite]]) -> None:
+        warn_legacy("ScheduledFaultInjector", "ExplicitFaultSchedule")
+        super().__init__(schedule)
+
+
+class RandomFaultInjector(RandomFaultSchedule):
+    """Deprecated alias of :class:`RandomFaultSchedule` (removal: 2.0)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_legacy("RandomFaultInjector", "RandomFaultSchedule")
+        super().__init__(*args, **kwargs)
+
+
+class NullFaultInjector(NullFaultSchedule):
+    """Deprecated alias of :class:`NullFaultSchedule` (removal: 2.0)."""
+
+    def __init__(self) -> None:
+        warn_legacy("NullFaultInjector", "NullFaultSchedule")
 
 
 def spawn_lane_injectors(
@@ -170,7 +268,7 @@ def spawn_lane_injectors(
     num_faults: int,
     rng: np.random.Generator | np.random.SeedSequence | int | None = None,
     **kwargs,
-) -> list[RandomFaultInjector]:
+) -> list[RandomFaultSchedule]:
     """One independent random fault schedule per lane of a batched sweep.
 
     Child seeds come from :meth:`numpy.random.SeedSequence.spawn` — the
@@ -178,7 +276,7 @@ def spawn_lane_injectors(
     for sweep points — so lane ``i``'s schedule depends only on the root
     entropy and the lane index, never on how lanes are grouped into
     :class:`repro.network.batched.BatchedLaneEngine` chunks or worker
-    processes.  ``kwargs`` pass through to :class:`RandomFaultInjector`
+    processes.  ``kwargs`` pass through to :class:`RandomFaultSchedule`
     (``protected``, ``first_fault_at``, ``avoid_failure``, ...).
     """
     if isinstance(rng, np.random.Generator):
@@ -188,7 +286,7 @@ def spawn_lane_injectors(
     else:
         seq = np.random.SeedSequence(rng)
     return [
-        RandomFaultInjector(
+        RandomFaultSchedule(
             config, num_routers, mean_interval, num_faults,
             rng=np.random.default_rng(child), **kwargs,
         )

@@ -21,6 +21,14 @@ from typing import Iterable, Iterator, Optional
 import numpy as np
 
 from ..config import RouterConfig
+from .schedule import (
+    TransientSpec,
+    _require_geometry,
+    register_schedule,
+    schedule_digest,
+    site_token,
+    warn_legacy,
+)
 from .sites import FaultSite, enumerate_sites
 
 
@@ -43,17 +51,21 @@ class TransientFault:
         return self.cycle + self.duration
 
 
-class TransientFaultInjector:
+class TransientFaultSchedule:
     """Fault schedule that injects *and later heals* each site.
 
-    Satisfies the simulator's ``FaultSchedule`` protocol for injection;
-    healing requires cooperation, so the simulator-facing integration is
-    :meth:`attach`: it wraps the injector around a simulator and performs
-    heals through the router's ``heal_fault``.
+    Satisfies the :class:`repro.faults.schedule.FaultSchedule` protocol
+    for injection; healing requires cooperation, so the simulator-facing
+    integration is :meth:`attach`: it wraps the injector around a
+    simulator and performs heals through the router's ``heal_fault``.
 
     Simplification: overlapping transients on the *same* site merge (the
     site heals at the later heal time) — the fault state is boolean.
     """
+
+    #: heals sites mid-run: batched lane arrays have no heal seam, so
+    #: ``repro.network.batched.supports`` declines factories carrying this
+    mutates_fabric = True
 
     def __init__(self, transients: Iterable[TransientFault]) -> None:
         items = sorted(transients, key=lambda t: t.cycle)
@@ -72,15 +84,18 @@ class TransientFaultInjector:
             (t.site.router, t.site.unit, t.site.port, t.site.vc): t.site
             for t in items
         }
+        self._fingerprint: Optional[str] = None
 
     # -- FaultSchedule protocol (injection half) -------------------------
-    def due(self, cycle: int) -> Iterator[FaultSite]:
+    def events_at(self, cycle: int) -> Iterator[FaultSite]:
         while (
             self._inject_i < len(self._inject_q)
             and self._inject_q[self._inject_i].cycle <= cycle
         ):
             yield self._inject_q[self._inject_i].site
             self._inject_i += 1
+
+    due = events_at
 
     def next_cycle(self) -> Optional[int]:
         """Next pending *injection* cycle (FaultSchedule lookahead).
@@ -92,6 +107,18 @@ class TransientFaultInjector:
         if self._inject_i < len(self._inject_q):
             return self._inject_q[self._inject_i].cycle
         return None
+
+    def fingerprint(self) -> str:
+        """Content digest over the full (cycle, site, duration) list."""
+        if self._fingerprint is None:
+            self._fingerprint = schedule_digest(
+                "transient",
+                (
+                    f"{t.cycle}@{site_token(t.site)}+{t.duration}"
+                    for t in self._inject_q
+                ),
+            )
+        return self._fingerprint
 
     # -- healing half ------------------------------------------------------
     def heals_due(self, cycle: int) -> Iterator[FaultSite]:
@@ -114,6 +141,14 @@ class TransientFaultInjector:
     @property
     def remaining_injections(self) -> int:
         return len(self._inject_q) - self._inject_i
+
+
+class TransientFaultInjector(TransientFaultSchedule):
+    """Deprecated alias of :class:`TransientFaultSchedule` (removal: 2.0)."""
+
+    def __init__(self, transients: Iterable[TransientFault]) -> None:
+        warn_legacy("TransientFaultInjector", "TransientFaultSchedule")
+        super().__init__(transients)
 
 
 def random_transients(
@@ -142,3 +177,19 @@ def random_transients(
         site = pool[int(rng.integers(len(pool)))]
         out.append(TransientFault(int(cycle), site, duration))
     return out
+
+
+@register_schedule("transient", TransientSpec)
+def _build_transient(spec: TransientSpec, *, config=None, num_routers=None):
+    config, num_routers = _require_geometry("transient", config, num_routers)
+    return TransientFaultSchedule(
+        random_transients(
+            config,
+            num_routers,
+            spec.rate_per_cycle,
+            spec.cycles,
+            duration=spec.duration,
+            rng=spec.seed,
+            protected=spec.protected,
+        )
+    )

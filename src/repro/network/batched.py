@@ -137,16 +137,28 @@ def supports(
     keep_samples: bool = False,
     on_eject: Optional[Callable] = None,
     observability: object = None,
+    schedule_factory: object = None,
 ) -> Optional[str]:
     """Why the batched engine cannot run this configuration, or ``None``.
 
     Returns a human-readable reason string for unsupported configs (the
     sweep layer records it and falls back to the event engine per point)
     and ``None`` when the configuration is fully supported.
+
+    ``schedule_factory`` is the sweep point's fault-schedule factory (or
+    the schedule class itself): factories marked ``mutates_fabric`` —
+    online fault timelines that heal and re-inject sites mid-run —
+    decline here, because the lane arrays bake fault flags in at lane
+    start and have no mid-run heal seam.
     """
     kind = getattr(router_factory, "router_kind", "baseline")
     if kind not in _SUPPORTED_KINDS:
         return f"router kind {kind!r} not supported (no array model)"
+    if getattr(schedule_factory, "mutates_fabric", False):
+        return (
+            "fault schedule mutates the fabric mid-run "
+            "(online timeline heals/reconfigures; no lane heal seam)"
+        )
     if make_routing(config, routing_kind).adaptive:
         return f"adaptive routing {routing_kind!r} (route depends on run-time state)"
     if observability is not None or maybe_create() is not None:

@@ -48,6 +48,8 @@ from time import perf_counter
 from typing import Callable, Iterable, Optional, Protocol
 
 from ..config import NetworkConfig, PORT_LOCAL, SimulationConfig
+from ..faults.recovery import RecoveryMonitor
+from ..faults.schedule import FaultSchedule
 from ..observability import EventTracer, Observability, maybe_create
 from ..router.flit import Packet
 from ..router.router import BaseRouter, BaselineRouter, RouterStats
@@ -77,23 +79,16 @@ class TrafficSource(Protocol):
         ...
 
 
-class FaultSchedule(Protocol):
-    """Anything that injects faults: see :mod:`repro.faults.injector`.
-
-    Schedules may additionally implement the *lookahead extension*::
-
-        def next_cycle(self) -> Optional[int]
-
-    returning the cycle of the earliest not-yet-injected fault (or
-    ``None`` when exhausted).  The simulator turns it into a scheduled
-    wake event on the calendar so the event-driven loop steps the exact
-    arrival cycle even when the fabric is idle; schedules without it
-    disable skipping entirely.
-    """
-
-    def due(self, cycle: int) -> Iterable:
-        """FaultSites to inject at ``cycle``."""
-        ...
+# The canonical ``FaultSchedule`` protocol now lives in
+# :mod:`repro.faults.schedule` (``events_at``/``next_cycle``/``fingerprint``)
+# and is re-imported above for the simulator/warm-pool call sites.  The
+# simulator accepts pre-protocol objects too: anything with a consuming
+# ``due(cycle)`` iterator still injects, and ``next_cycle`` stays an
+# optional lookahead (schedules without it disable skip-ahead).  Schedules
+# with ``native_heals = True`` additionally expose ``heals_due(cycle)`` and
+# are healed in-loop (see :class:`repro.faults.timeline.FaultTimeline`);
+# ``wants_recovery_log = True`` makes the simulator install a
+# :class:`repro.faults.recovery.RecoveryMonitor` for the run.
 
 
 RouterFactory = Callable[[int, RoutingFunction], BaseRouter]
@@ -125,6 +120,11 @@ class SimulationResult:
     #: run was instrumented, else ``None``; plain dicts, so it survives
     #: pickling back from parallel sweep workers
     observability: Optional[dict] = None
+    #: per-event recovery summary (``RecoveryMonitor.summary``) when the
+    #: fault schedule requested a recovery log, else ``None``; plain
+    #: dicts, so campaign results flow through ``run_lane_sweep`` and the
+    #: checkpoint store with zero new plumbing
+    recovery: Optional[dict] = None
 
     @property
     def avg_network_latency(self) -> float:
@@ -386,6 +386,12 @@ class NoCSimulator:
             self.scheduler.tracer = tracer
         self.flits_in_network = 0
         self.faults_injected = 0
+        #: per-router recovery accounting; installed only when the fault
+        #: schedule asks for it (``wants_recovery_log``), so every other
+        #: run pays a single ``is not None`` check per cycle
+        self.recovery_monitor: Optional[RecoveryMonitor] = (
+            self._install_recovery(fault_schedule)
+        )
         self.cycle = 0
         self._last_progress = 0
         self.blocked = False
@@ -447,6 +453,10 @@ class NoCSimulator:
         self.traffic = traffic
         self.fault_schedule = fault_schedule
         self.on_eject = on_eject
+        # drop any instance-level step wrapper a previous run installed
+        # (e.g. TransientFaultSchedule.attach) — a pooled fabric must
+        # never replay stale heals into a new run
+        self.__dict__.pop("_step", None)
         for r in self.routers:
             r.reset()
         self.stats = NetworkStats(keep_samples=self.stats.keep_samples)
@@ -466,12 +476,31 @@ class NoCSimulator:
         self.scheduler.tracer = tracer
         self.flits_in_network = 0
         self.faults_injected = 0
+        self.recovery_monitor = self._install_recovery(fault_schedule)
         self.cycle = 0
         self._last_progress = 0
         self.blocked = False
         # in place: the on_wake hooks hold these sets' bound ``add``
         self._active_routers.clear()
         self._active_nics.clear()
+
+    def _install_recovery(
+        self, fault_schedule: Optional[FaultSchedule]
+    ) -> Optional[RecoveryMonitor]:
+        """Fresh :class:`RecoveryMonitor` when the schedule asks for one.
+
+        The monitor doubles as every router's ``recovery`` probe, so a
+        fault landing (or healing) reaches it through the per-router
+        hook without the hot path growing a second dispatch site.
+        ``BaseRouter.reset`` already cleared the probes, so a schedule
+        without a recovery log leaves them ``None``.
+        """
+        if not getattr(fault_schedule, "wants_recovery_log", False):
+            return None
+        monitor = RecoveryMonitor()
+        for r in self.routers:
+            r.recovery = monitor
+        return monitor
 
     # ------------------------------------------------------------------
     def _inject_faults(self, cycle: int) -> None:
@@ -489,12 +518,29 @@ class NoCSimulator:
         if schedule is None:
             return
         advanced = False
-        for site in schedule.due(cycle):
+        if getattr(schedule, "native_heals", False):
+            # native heal seam (fault timelines): heals apply before
+            # injections, mirroring the transient step-wrapper's order,
+            # but in-loop — ``next_cycle()`` covers heal cycles too, so
+            # the event-driven skip-ahead stays enabled
+            for site in schedule.heals_due(cycle):
+                advanced = True
+                router = self.routers[site.router]
+                if router.heal_fault(site):
+                    router.wake()
+                    probe = router.recovery
+                    if probe is not None:
+                        probe.fault_healed(router, site, cycle)
+        events = getattr(schedule, "events_at", None) or schedule.due
+        for site in events(cycle):
             advanced = True
             router = self.routers[site.router]
             if router.inject_fault(site):
                 self.faults_injected += 1
                 router.wake()
+                probe = router.recovery
+                if probe is not None:
+                    probe.fault_landed(router, site, cycle)
         if advanced:
             self._arm_fault_wake()
 
@@ -596,6 +642,13 @@ class NoCSimulator:
             prof.record("nic", perf_counter() - t)
             prof.cycle_done()
 
+        # recovery watches poll at end-of-cycle so same-cycle mechanism
+        # activity counts; counters are frozen while idle, so stepped
+        # cycles see every edge even under skip-ahead
+        mon = self.recovery_monitor
+        if mon is not None and mon.open_watches:
+            mon.poll(cycle)
+
     def _step_reference(self, cycle: int, inject_traffic: bool) -> None:
         """The pre-active-set full-scan stepper (reference semantics).
 
@@ -643,6 +696,10 @@ class NoCSimulator:
         active_nics = self._active_nics
         active_nics.clear()
         active_nics.update(nic.node for nic in self.nics if nic._queued)
+
+        mon = self.recovery_monitor
+        if mon is not None and mon.open_watches:
+            mon.poll(cycle)
 
     # ------------------------------------------------------------------
     def _skip_idle(self, cycle: int, horizon: int, lookahead) -> int:
@@ -752,6 +809,14 @@ class NoCSimulator:
             drained = self.flits_in_network == 0 and not active_nics
 
         self.cycle = cycle
+        recovery_export = None
+        mon = self.recovery_monitor
+        if mon is not None:
+            # fold campaign counters into NetworkStats *before* the
+            # observability harvest so metrics see them like any other
+            # network counter
+            mon.finalize(cycle, self.stats)
+            recovery_export = mon.summary()
         obs_export = None
         if self.obs is not None:
             self.obs.finalize_run(self)
@@ -764,6 +829,7 @@ class NoCSimulator:
             router_stats=self.aggregate_router_stats(),
             faults_injected=self.faults_injected,
             observability=obs_export,
+            recovery=recovery_export,
         )
 
     def _watchdog_tripped(self, cycle: int) -> bool:

@@ -13,8 +13,13 @@ The pool is per-process (sweep workers are separate processes, each
 keeps its own warm fabric) and keyed by everything that shapes the
 object graph: the frozen :class:`~repro.config.NetworkConfig`, the
 router flavour (``router_kind`` marker on the factory), the routing
-function kind, and the sample-retention flag.  Factories without the
-marker — ad-hoc lambdas in tests — fall back to a fresh, uncached build.
+function kind, the sample-retention flag, and the fault schedule's
+``fingerprint()`` — a pooled fabric is never held under a schedule it is
+no longer running (a structurally matching fabric with a *different*
+schedule fingerprint is recycled through ``reset()`` and re-keyed, so
+the per-process pool stays one fabric per structural configuration).
+Factories without the marker — ad-hoc lambdas in tests — fall back to a
+fresh, uncached build.
 
 Setup wall time (construction *and* resets) accumulates in a
 module-level counter that :mod:`repro.experiments.parallel` drains into
@@ -38,6 +43,9 @@ from .simulator import (
 
 #: pool key -> warm simulator (per process; workers each grow their own)
 _POOL: dict = {}
+
+#: anonymous-schedule serial for keys that must never be reused
+_anon_counter = 0
 
 #: seconds spent building or resetting networks since the last drain
 _setup_seconds = 0.0
@@ -74,7 +82,7 @@ def acquire(
     alias the two pools, even though both hand out ``NoCSimulator``
     instances today.
     """
-    global _setup_seconds
+    global _setup_seconds, _anon_counter
     factory = router_factory if router_factory is not None else baseline_router_factory(config)
     kind = getattr(factory, "router_kind", None)
     t0 = perf_counter()
@@ -87,15 +95,36 @@ def acquire(
         )
         _setup_seconds += perf_counter() - t0
         return sim
-    key = (config, kind, routing_kind, keep_samples, engine)
+    fingerprint_fn = getattr(fault_schedule, "fingerprint", None)
+    if fault_schedule is None:
+        fp = "none"
+    elif fingerprint_fn is not None:
+        fp = fingerprint_fn()
+    else:
+        # pre-Protocol schedule with no content digest: give it a key that
+        # can never alias a later acquire (the fabric itself still recycles
+        # through the structural-prefix match below)
+        _anon_counter += 1
+        fp = f"anon:{_anon_counter}"
+    structural = (config, kind, routing_kind, keep_samples, engine)
+    key = structural + (fp,)
     sim = _POOL.get(key)
     if sim is None:
-        sim = NoCSimulator(
-            config, sim_config, traffic, factory, fault_schedule,
-            routing_kind, keep_samples, on_eject, observability,
-            event_driven=event_driven,
-        )
-        _POOL[key] = sim
+        # same structure, different schedule: recycle the fabric under the
+        # new fingerprint so the pool never holds it under a stale key
+        stale = next((k for k in _POOL if k[:-1] == structural), None)
+        if stale is not None:
+            sim = _POOL.pop(stale)
+            sim.reset(sim_config, traffic, fault_schedule, on_eject, observability)
+            sim.event_driven = event_driven
+            _POOL[key] = sim
+        else:
+            sim = NoCSimulator(
+                config, sim_config, traffic, factory, fault_schedule,
+                routing_kind, keep_samples, on_eject, observability,
+                event_driven=event_driven,
+            )
+            _POOL[key] = sim
     else:
         sim.reset(sim_config, traffic, fault_schedule, on_eject, observability)
         sim.event_driven = event_driven

@@ -185,6 +185,13 @@ class BaseRouter:
         #: flit-lifecycle tracer (:mod:`repro.observability`); ``None`` —
         #: the default — makes every emission site a single attribute check
         self.tracer: Optional["EventTracer"] = None
+        #: per-router recovery probe (:class:`repro.faults.recovery.
+        #: RecoveryMonitor`), installed by the simulator for online fault
+        #: campaigns; the simulator reports fault land/heal events into it
+        #: (``fault_landed``/``fault_healed``) and polls its open watches.
+        #: ``None`` — the default — keeps the fault path cost at a single
+        #: attribute check.
+        self.recovery: Optional[object] = None
 
     # -- unit factories (overridden by the protected router) ---------------
     def _make_crossbar(self) -> Crossbar:
@@ -262,6 +269,7 @@ class BaseRouter:
         self.stats.reset()
         self._xb_queue.clear()
         self._nonidle = 0
+        self.recovery = None
 
     # ----------------------------------------------------------------------
     # state export / import (snapshot & rollback substrate)

@@ -40,6 +40,7 @@ from ..experiments import (
     design_space,
     detection_latency,
     energy,
+    fault_campaign,
     fault_sweep,
     latency,
     load_latency,
@@ -88,6 +89,7 @@ CONFIG_TYPES: Dict[str, type] = {
     "reliability_curves": reliability_curves.ReliabilityCurvesConfig,
     "energy": energy.EnergyConfig,
     "detection_latency": detection_latency.DetectionLatencyConfig,
+    "fault_campaign": fault_campaign.CampaignConfig,
     "fault_sweep": fault_sweep.FaultSweepConfig,
     "design_space": design_space.DesignSpaceConfig,
 }

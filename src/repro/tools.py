@@ -22,7 +22,7 @@ from typing import Optional
 
 from .config import NetworkConfig, RouterConfig, SimulationConfig
 from .core.protected_router import protected_router_factory
-from .faults.injector import RandomFaultInjector
+from .faults.injector import RandomFaultSchedule
 from .network.simulator import NoCSimulator, baseline_router_factory
 from .traffic.apps import make_app_traffic
 from .traffic.generator import COHERENCE_MIX, SINGLE_FLIT_MIX, SyntheticTraffic
@@ -122,7 +122,7 @@ def run(args: argparse.Namespace):
         )
     schedule = None
     if args.faults:
-        schedule = RandomFaultInjector(
+        schedule = RandomFaultSchedule(
             net.router,
             net.num_nodes,
             mean_interval=max(1.0, args.warmup / (2 * args.faults)),

@@ -12,7 +12,7 @@ from repro.config import (
     PORT_SOUTH,
     PORT_WEST,
 )
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.router.routing import WestFirstRouting, XYRouting, _neighbour, make_routing
 
@@ -119,9 +119,9 @@ class TestAdaptiveSimulation:
 
     def test_protected_west_first_under_faults(self):
         net = make_network_config(4, 4)
-        from repro.faults.injector import RandomFaultInjector
+        from repro.faults.injector import RandomFaultSchedule
 
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router, net.num_nodes, mean_interval=20, num_faults=12,
             rng=3, first_fault_at=0, avoid_failure=True,
         )
@@ -137,7 +137,7 @@ class TestAdaptiveSimulation:
         net = make_network_config(4, 4)
         victim = net.node_id(1, 1)
         # kill the east output entirely: normal mux + secondary circuitry
-        faults = ScheduledFaultInjector([
+        faults = ExplicitFaultSchedule([
             (0, FaultSite(victim, FaultUnit.XB_MUX, PORT_EAST)),
             (0, FaultSite(victim, FaultUnit.XB_SECONDARY, PORT_EAST)),
         ])
@@ -155,7 +155,7 @@ class TestAdaptiveSimulation:
             sim = make_sim(
                 net, protected=True, traffic=TraceTraffic(list(pkts)),
                 warmup=0, measure=400, drain=3000, watchdog=1000,
-                fault_schedule=ScheduledFaultInjector(list(faults.planned)),
+                fault_schedule=ExplicitFaultSchedule(list(faults.planned)),
                 routing_kind=kind,
             )
             return sim.run()

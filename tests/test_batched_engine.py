@@ -27,7 +27,7 @@ from repro.config import NetworkConfig, RouterConfig, SimulationConfig
 from repro.core.protected_router import protected_router_factory
 from repro.experiments.load_latency import _make_schedule, _make_traffic
 from repro.experiments.parallel import LanePoint, run_lane_sweep
-from repro.faults.injector import RandomFaultInjector, spawn_lane_injectors
+from repro.faults.injector import RandomFaultSchedule, spawn_lane_injectors
 from repro.network import warm
 from repro.network.batched import LaneSpec, run_lanes, supports
 from repro.network.simulator import NoCSimulator, baseline_router_factory
@@ -420,6 +420,61 @@ class TestLaneRefill:
 
 
 # ----------------------------------------------------------------------
+# golden determinism: faults pinned to window seams, through the refill
+# path (PR 9 covered the event engine; this pins the batched engine)
+# ----------------------------------------------------------------------
+class TestSeamFaultsGoldenUnderRefill:
+    """A fault landing exactly on the warmup/measure boundary, and one
+    during drain, must be bit-identical between a refilled batched lane
+    and a fresh event-engine run of the same point."""
+
+    def _specs(self, net, cfg, n):
+        from repro.faults import ExplicitFaultSchedule, FaultSite, FaultUnit
+
+        boundary = cfg.warmup_cycles  # first measured cycle
+        in_drain = cfg.warmup_cycles + cfg.measure_cycles + 10
+        specs = []
+        for i in range(n):
+            schedule = ExplicitFaultSchedule(
+                [
+                    (boundary, FaultSite(i % net.num_nodes,
+                                         FaultUnit.RC_PRIMARY, 0)),
+                    (in_drain, FaultSite((i + 5) % net.num_nodes,
+                                         FaultUnit.XB_MUX, 1)),
+                ]
+            )
+            specs.append(
+                LaneSpec(
+                    SyntheticTraffic(
+                        net, injection_rate=0.05, mix=COHERENCE_MIX,
+                        rng=300 + i,
+                    ),
+                    schedule,
+                )
+            )
+        return specs
+
+    @pytest.mark.parametrize("kind", ["baseline", "protected"])
+    def test_boundary_and_drain_faults_bit_identical(self, kind):
+        net = _net(4, 4, 4, 2)
+        cfg = _sim_cfg(measure=200)
+        factory = _factory(net, kind)
+        reset_packet_ids()
+        # width=2 over 6 lanes: lanes 2..5 enter through the refill path
+        batched = run_lanes(
+            net, cfg, self._specs(net, cfg, 6),
+            router_factory=factory, width=2,
+        )
+        refs = [
+            _event_reference(net, cfg, spec, factory)
+            for spec in self._specs(net, cfg, 6)
+        ]
+        for i, (b, r) in enumerate(zip(batched, refs)):
+            assert b.faults_injected == 2, f"point {i} missed a seam fault"
+            assert _lane_key(b) == _lane_key(r), f"point {i} diverged"
+
+
+# ----------------------------------------------------------------------
 # supports() gate
 # ----------------------------------------------------------------------
 class TestSupportsGate:
@@ -613,7 +668,7 @@ def _norm(obj):
 
 def _run_faulted_sim(seed=7, rate=0.2):
     net = _net(4, 4, 4, 2)
-    schedule = RandomFaultInjector(
+    schedule = RandomFaultSchedule(
         net.router, net.num_nodes, mean_interval=30, num_faults=10,
         rng=5, first_fault_at=40, avoid_failure=True,
     )

@@ -7,7 +7,7 @@ from repro.faults.detection import NetworkDetector, OnlineDetector
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.faults.transient import (
     TransientFault,
-    TransientFaultInjector,
+    TransientFaultSchedule,
     random_transients,
 )
 from repro.router.flit import Packet
@@ -90,7 +90,7 @@ class TestTransientFault:
 
     def test_injector_schedules_inject_and_heal(self):
         site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
-        inj = TransientFaultInjector([TransientFault(5, site, duration=3)])
+        inj = TransientFaultSchedule([TransientFault(5, site, duration=3)])
         assert list(inj.due(4)) == []
         assert list(inj.due(5)) == [site]
         assert list(inj.heals_due(7)) == []
@@ -98,7 +98,7 @@ class TestTransientFault:
 
     def test_overlapping_transients_merge(self):
         site = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
-        inj = TransientFaultInjector(
+        inj = TransientFaultSchedule(
             [TransientFault(5, site, 3), TransientFault(6, site, 10)]
         )
         # heals once, at the later heal time (16)
@@ -110,7 +110,7 @@ class TestTransientFault:
         and the router ends fault-free."""
         net = make_network_config(3, 3)
         site = FaultSite(4, FaultUnit.SA1_ARBITER, PORT_WEST)
-        inj = TransientFaultInjector([TransientFault(100, site, duration=200)])
+        inj = TransientFaultSchedule([TransientFault(100, site, duration=200)])
         sim = make_sim(
             net, protected=True, injection_rate=0.08, measure=1200,
             fault_schedule=inj,
@@ -140,7 +140,7 @@ class TestTransientFault:
             net.router, net.num_nodes, rate_per_cycle=0.02, cycles=800,
             duration=30, rng=7,
         )
-        inj = TransientFaultInjector(transients)
+        inj = TransientFaultSchedule(transients)
         sim = make_sim(
             net, protected=True, injection_rate=0.06, measure=800,
             drain=6000, fault_schedule=inj, watchdog=5000,

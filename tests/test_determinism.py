@@ -9,7 +9,7 @@ drift in the paper reproduction.
 
 import pytest
 
-from repro.faults.injector import RandomFaultInjector
+from repro.faults.injector import RandomFaultSchedule
 
 from conftest import make_network_config, make_sim
 
@@ -32,7 +32,7 @@ class TestRunToRunDeterminism:
         net = make_network_config(4, 4)
 
         def build():
-            inj = RandomFaultInjector(
+            inj = RandomFaultSchedule(
                 net.router, net.num_nodes, mean_interval=50, num_faults=10,
                 rng=5, first_fault_at=0, avoid_failure=True,
             )
@@ -84,11 +84,11 @@ class TestGoldenValues:
         assert analyze_spf(0.31).spf == pytest.approx(15 / 1.31)
 
     def test_golden_fault_mechanism_counters(self):
-        from repro.faults.injector import ScheduledFaultInjector
+        from repro.faults.injector import ExplicitFaultSchedule
         from repro.faults.sites import FaultSite, FaultUnit
 
         net = make_network_config(4, 4)
-        faults = ScheduledFaultInjector([
+        faults = ExplicitFaultSchedule([
             (0, FaultSite(5, FaultUnit.SA1_ARBITER, 4)),
             (0, FaultSite(5, FaultUnit.XB_MUX, 2)),
         ])

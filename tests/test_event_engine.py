@@ -22,7 +22,7 @@ import math
 
 from repro.config import NetworkConfig, RouterConfig, SimulationConfig
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator, baseline_router_factory
 from repro.router.flit import Packet, reset_packet_ids
@@ -101,7 +101,7 @@ class TestFaultWakeInIdleStretch:
             ),
             NullTraffic(),
             router_factory=protected_router_factory(net),
-            fault_schedule=ScheduledFaultInjector([(300, _site(5))]),
+            fault_schedule=ExplicitFaultSchedule([(300, _site(5))]),
             **_engine_kwargs(engine),
         )
         result = sim.run()
@@ -154,7 +154,7 @@ class TestFaultIntoIdleRouterMidDrain:
                 if protected
                 else baseline_router_factory(net)
             ),
-            fault_schedule=ScheduledFaultInjector([(8, _site(4))]),
+            fault_schedule=ExplicitFaultSchedule([(8, _site(4))]),
             **_engine_kwargs(engine),
         )
         result = sim.run()
@@ -239,7 +239,7 @@ class TestFaultScheduleEdges:
             ),
             SyntheticTraffic(net, injection_rate=0.05, rng=7),
             router_factory=protected_router_factory(net),
-            fault_schedule=ScheduledFaultInjector(
+            fault_schedule=ExplicitFaultSchedule(
                 [(c, _site(3 + i)) for i, c in enumerate(fault_cycles)]
             ),
             observability=obs,

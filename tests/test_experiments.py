@@ -97,6 +97,7 @@ class TestRunner:
             "fault_sweep",
             "design_space",
             "mttf_sensitivity",
+            "fault_campaign",
         }
         assert set(EXPERIMENTS) == paper_artifacts | extensions
 

@@ -1,0 +1,269 @@
+"""Online fault-injection campaigns (:mod:`repro.experiments.fault_campaign`).
+
+Covers the tentpole contract: timelines as resilient sweep points
+(checkpointed, resumable — truncated-checkpoint and SIGKILL flavours),
+recovery metrics measured per router kind, the batched-engine decline
+for fabric-mutating schedules, and the degradation-over-lifetime report
+joining the FIT model with measured recovery.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.core.protected_router import protected_router_factory
+from repro.experiments import fault_campaign
+from repro.experiments.fault_campaign import CampaignConfig
+from repro.experiments.latency import LatencyConfig
+from repro.faults import TimelineSpec, make_schedule
+from repro.network.simulator import NoCSimulator
+from repro.router.flit import reset_packet_ids
+from repro.traffic.generator import SyntheticTraffic
+
+QUICK_LATENCY = LatencyConfig(
+    width=4, height=4,
+    warmup_cycles=200, measure_cycles=800, drain_cycles=2000, seed=5,
+)
+
+QUICK_CAMPAIGN = CampaignConfig(
+    timelines=2,
+    router_kinds=("baseline", "protected"),
+    timeline=TimelineSpec(events=3, mean_interval=150.0),
+    latency=QUICK_LATENCY,
+    app="lu",
+)
+
+
+def _run(config=QUICK_CAMPAIGN, **kw):
+    return fault_campaign.run(config, jobs=kw.pop("jobs", 1), **kw)
+
+
+class TestCampaignRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return _run()
+
+    def test_recovery_metrics_measured(self, result):
+        rows = {r["kind"]: r for r in result.extras["rows"]}
+        assert set(rows) == {"baseline", "protected"}
+        for row in rows.values():
+            assert row["runs"] == 2
+            assert row["events"] > 0
+            assert 0.0 <= row["recovered_frac"] <= 1.0
+            assert row["exposed_flits"] >= 0
+
+    def test_timeline_points_fall_back_to_event_engine(self, result):
+        sweep = result.extras["sweep"]
+        reasons = {
+            reason
+            for shard in sweep.shards
+            for reason in shard.fallback_reasons
+        }
+        assert any("mutates the fabric" in r for r in reasons)
+        # 2 kinds x (1 reference + 2 timelines): every point fell back
+        # (references are singleton structural groups below the lane
+        # batching threshold)
+        assert sum(s.fallbacks for s in sweep.shards) == 6
+
+    def test_degradation_report_joins_fit_model(self, result):
+        deg = result.extras["degradation"]
+        for row in deg["simulated"]:
+            assert row["fit_per_router"] > 0
+            assert row["network_mtbf_hours"] > 0
+            assert row["events_per_year"] == pytest.approx(
+                8760.0 / row["network_mtbf_hours"]
+            )
+        kinds = {r["kind"] for r in deg["analytic"]}
+        assert kinds == {"bulletproof", "vicis"}
+        for row in deg["analytic"]:
+            assert row["analytic"] is True
+            assert row["mean_faults_to_failure"] > 1.0
+            assert row["expected_years_to_failure"] > 0
+
+    def test_structural_checks_pass(self, result):
+        by_label = {r.label: r.measured for r in result.rows}
+        assert by_label["fault-free references carry no recovery log"] is True
+        assert by_label["every timeline produced a recovery log"] is True
+        assert by_label["campaign delivered fault events"] is True
+
+    def test_serial_equals_parallel(self, result):
+        parallel = _run(jobs=2)
+        assert parallel.extras["rows"] == result.extras["rows"]
+
+
+class TestCampaignConfigValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="timelines"):
+            _run(CampaignConfig(timelines=0, latency=QUICK_LATENCY))
+        with pytest.raises(ValueError, match="router_kinds"):
+            _run(
+                CampaignConfig(router_kinds=(), latency=QUICK_LATENCY)
+            )
+
+    def test_legacy_keywords_warn(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            res = fault_campaign.run(
+                QUICK_CAMPAIGN, timelines=1, jobs=1
+            )
+        assert res.experiment == "fault_campaign"
+
+
+class TestRecoveryDeterminism:
+    """A timeline run is a pure function of its spec + traffic seed."""
+
+    def _one(self):
+        net = NetworkConfig(width=4, height=4)
+        spec = TimelineSpec(events=3, mean_interval=120.0, seed=17)
+        schedule = make_schedule(
+            spec, config=net.router, num_routers=net.num_nodes
+        )
+        reset_packet_ids()
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(
+                warmup_cycles=150, measure_cycles=500, drain_cycles=1500,
+                seed=11, watchdog_cycles=5000,
+            ),
+            SyntheticTraffic(net, injection_rate=0.05, rng=11),
+            router_factory=protected_router_factory(net),
+            fault_schedule=schedule,
+        )
+        return sim.run()
+
+    def test_recovery_log_bit_identical(self):
+        a, b = self._one(), self._one()
+        assert a.recovery is not None
+        assert a.recovery == b.recovery
+        assert a.recovery["events"] == 3
+        assert a.stats.summary() == b.stats.summary()
+
+    def test_recovery_counters_reach_network_stats(self):
+        res = self._one()
+        assert res.stats.fault_events == 3
+        summary = res.stats.summary()
+        assert summary["recovery"]["fault_events"] == 3
+
+    def test_fault_free_summary_untouched(self):
+        net = NetworkConfig(width=3, height=3)
+        reset_packet_ids()
+        sim = NoCSimulator(
+            net,
+            SimulationConfig(
+                warmup_cycles=50, measure_cycles=200, drain_cycles=800,
+                seed=2, watchdog_cycles=3000,
+            ),
+            SyntheticTraffic(net, injection_rate=0.05, rng=2),
+        )
+        res = sim.run()
+        assert res.recovery is None
+        assert "recovery" not in res.stats.summary()
+
+
+class TestCampaignResumeGolden:
+    """Resume splices checkpointed timelines bit-identically."""
+
+    def test_truncated_checkpoint_resume_matches(self, tmp_path):
+        full = _run(out_dir=tmp_path / "run")
+        jsonl = tmp_path / "run" / "sweep-000.jsonl"
+        lines = jsonl.read_text().splitlines()
+        assert len(lines) == 6  # 2 kinds x (1 reference + 2 timelines)
+        jsonl.write_text("\n".join(lines[:3]) + "\n")
+
+        resumed = _run(resume=tmp_path / "run")
+        assert resumed.rows == full.rows
+        assert resumed.extras["rows"] == full.extras["rows"]
+        assert resumed.extras["sweep"].resumed == 3
+
+
+#: subprocess driver: SIGKILL the whole process group mid-campaign, then
+#: resume from the same run directory (timeline-granularity checkpoints)
+_DRIVER = """\
+import json, sys
+
+from repro.experiments.fault_campaign import CampaignConfig, run
+from repro.experiments.latency import LatencyConfig
+from repro.faults import TimelineSpec
+
+mode, run_dir, out_json, measure = sys.argv[1:5]
+
+config = CampaignConfig(
+    timelines=3,
+    router_kinds=("protected",),
+    timeline=TimelineSpec(events=3, mean_interval=150.0),
+    latency=LatencyConfig(
+        width=4, height=4, warmup_cycles=200,
+        measure_cycles=int(measure), drain_cycles=2000, seed=5,
+    ),
+    app="lu",
+)
+kw = {"resume": run_dir} if mode == "resume" else {"out_dir": run_dir}
+res = run(config, jobs=2, **kw)
+with open(out_json, "w") as fp:
+    json.dump(
+        {
+            "rows": res.extras["rows"],
+            "resumed": res.extras["sweep"].resumed,
+        },
+        fp,
+    )
+"""
+
+
+def _spawn(script, mode, run_dir, out_json, measure):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(script), mode, str(run_dir), str(out_json),
+         str(measure)],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestKillMidCampaign:
+    def test_sigkill_resume_bit_identical(self, tmp_path):
+        script = tmp_path / "driver.py"
+        script.write_text(_DRIVER)
+
+        # one measure window everywhere: the resilient runtime pins the
+        # resumed configuration to the checkpointed one, and the window
+        # is long enough (~2 s per point) that the kill lands mid-run
+        measure = 12_000
+        ref_json = tmp_path / "ref.json"
+        proc = _spawn(script, "run", tmp_path / "ref-run", ref_json, measure)
+        assert proc.wait(timeout=300) == 0
+        reference = json.loads(ref_json.read_text())
+
+        run_dir = tmp_path / "killed-run"
+        kill_json = tmp_path / "kill.json"
+        proc = _spawn(script, "run", run_dir, kill_json, measure)
+        jsonl = run_dir / "sweep-000.jsonl"
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if jsonl.exists() and len(jsonl.read_text().splitlines()) >= 1:
+                break
+            if proc.poll() is not None:
+                pytest.fail("driver exited before it could be killed")
+            time.sleep(0.02)
+        else:
+            pytest.fail("no checkpointed timeline appeared within 120s")
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert not kill_json.exists()
+
+        resume_json = tmp_path / "resume.json"
+        proc = _spawn(script, "resume", run_dir, resume_json, measure)
+        assert proc.wait(timeout=300) == 0
+        resumed = json.loads(resume_json.read_text())
+        assert resumed["rows"] == reference["rows"]
+        assert 1 <= resumed["resumed"] <= 4

@@ -1,0 +1,322 @@
+"""The unified ``FaultSchedule`` API (:mod:`repro.faults.schedule`).
+
+Pins the api-redesign contract: the runtime-checkable protocol, the
+frozen spec dataclasses and their ``make_schedule`` registry, stable
+content fingerprints, the JSON side-door used by the service, the
+legacy ``*FaultInjector`` shims, and the warm-pool key regression
+(schedule fingerprints must be part of the pool key).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NetworkConfig, RouterConfig, SimulationConfig
+from repro.faults import (
+    ExplicitFaultSchedule,
+    FaultSchedule,
+    FaultSite,
+    FaultTimeline,
+    FaultUnit,
+    NullFaultSchedule,
+    NullSpec,
+    RandomFaultSchedule,
+    RandomSpec,
+    ScheduledSpec,
+    TimelineSpec,
+    TransientFaultSchedule,
+    TransientSpec,
+    make_schedule,
+    schedule_spec,
+    site_from_tuple,
+    site_tuple,
+    spec_name,
+)
+from repro.faults.schedule import SCHEDULE_SPECS
+
+CFG = RouterConfig()
+SITE = FaultSite(3, FaultUnit.RC_PRIMARY, 0)
+
+
+def _one_of_each():
+    return [
+        make_schedule(ScheduledSpec(events=((10, 3, "rc_primary", 0, -1),))),
+        make_schedule(RandomSpec(num_faults=2, seed=5), config=CFG, num_routers=9),
+        make_schedule(NullSpec()),
+        make_schedule(
+            TransientSpec(rate_per_cycle=0.01, cycles=100, seed=3),
+            config=CFG,
+            num_routers=9,
+        ),
+        make_schedule(
+            TimelineSpec(events=3, mean_interval=100.0, seed=2),
+            config=CFG,
+            num_routers=9,
+        ),
+    ]
+
+
+class TestProtocol:
+    def test_every_schedule_satisfies_the_protocol(self):
+        for sched in _one_of_each():
+            assert isinstance(sched, FaultSchedule), type(sched).__name__
+
+    def test_legacy_due_alias_is_events_at(self):
+        sched = ExplicitFaultSchedule([(5, SITE)])
+        assert list(sched.due(4)) == []
+        assert list(sched.due(5)) == [SITE]
+
+    def test_registry_names(self):
+        assert set(SCHEDULE_SPECS) == {
+            "scheduled", "random", "none", "transient", "timeline",
+        }
+        assert spec_name(RandomSpec()) == "random"
+        assert spec_name(object()) is None
+
+
+class TestFingerprints:
+    def test_stable_and_consumption_independent(self):
+        for build in (
+            lambda: make_schedule(
+                RandomSpec(num_faults=3, seed=11), config=CFG, num_routers=9
+            ),
+            lambda: make_schedule(
+                TimelineSpec(events=3, mean_interval=50.0, seed=1),
+                config=CFG,
+                num_routers=9,
+            ),
+        ):
+            a, b = build(), build()
+            fp = a.fingerprint()
+            assert fp == b.fingerprint()
+            # consuming events must not change the identity of the plan
+            list(a.events_at(10**9))
+            assert a.fingerprint() == fp
+
+    def test_kind_prefix_and_content_sensitivity(self):
+        fp1 = make_schedule(
+            RandomSpec(num_faults=2, seed=1), config=CFG, num_routers=9
+        ).fingerprint()
+        fp2 = make_schedule(
+            RandomSpec(num_faults=2, seed=2), config=CFG, num_routers=9
+        ).fingerprint()
+        assert fp1 != fp2
+        assert NullFaultSchedule().fingerprint() == "none:0"
+        tl = make_schedule(
+            TimelineSpec(events=2, mean_interval=40.0, seed=0),
+            config=CFG,
+            num_routers=9,
+        )
+        assert tl.fingerprint().startswith("timeline:")
+
+    def test_transient_duration_in_fingerprint(self):
+        from repro.faults import TransientFault
+
+        a = TransientFaultSchedule([TransientFault(10, SITE, duration=4)])
+        b = TransientFaultSchedule([TransientFault(10, SITE, duration=9)])
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestJSONSideDoor:
+    def test_schedule_spec_coerces_lists(self):
+        spec = schedule_spec(
+            "scheduled", {"events": [[10, 3, "rc_primary", 0, -1]]}
+        )
+        assert spec == ScheduledSpec(events=((10, 3, "rc_primary", 0, -1),))
+        sched = make_schedule(spec)
+        assert list(sched.events_at(10)) == [SITE]
+
+    def test_unknown_name_and_field_raise(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            schedule_spec("cosmic_rays")
+        with pytest.raises(TypeError):
+            schedule_spec("random", {"num_fault": 3})
+
+    def test_site_tuple_round_trip(self):
+        assert site_from_tuple(site_tuple(SITE)) == SITE
+
+    def test_geometry_required_for_drawing_specs(self):
+        with pytest.raises(ValueError, match="config"):
+            make_schedule(RandomSpec(num_faults=1))
+        with pytest.raises(TypeError, match="not a registered"):
+            make_schedule(object())
+
+
+class TestServiceRoundTrip:
+    """Campaign configs are JSON-submittable and cache-key soundly."""
+
+    def test_build_config_nested_timeline_spec(self):
+        from repro.service.fingerprint import build_config
+
+        cfg = build_config(
+            "fault_campaign",
+            {
+                "timelines": 4,
+                "router_kinds": ["protected"],
+                "timeline": {"events": 2, "mean_interval": 250.0, "seed": 9},
+            },
+        )
+        assert cfg.timelines == 4
+        assert cfg.router_kinds == ("protected",)
+        assert cfg.timeline == TimelineSpec(
+            events=2, mean_interval=250.0, seed=9
+        )
+
+    def test_fingerprint_stable_across_spellings(self):
+        from repro.service.fingerprint import (
+            effective_config,
+            request_fingerprint,
+        )
+
+        spelled, seed1 = effective_config(
+            "fault_campaign",
+            {"timeline": {"events": 8, "mean_interval": 2000.0}},
+        )
+        defaulted, seed2 = effective_config("fault_campaign", {})
+        assert request_fingerprint(
+            "fault_campaign", spelled, seed=seed1
+        ) == request_fingerprint("fault_campaign", defaulted, seed=seed2)
+        changed, seed3 = effective_config(
+            "fault_campaign", {"timeline": {"events": 9}}
+        )
+        assert request_fingerprint(
+            "fault_campaign", changed, seed=seed3
+        ) != request_fingerprint("fault_campaign", defaulted, seed=seed2)
+
+    def test_canonical_handles_timeline_spec(self):
+        from repro.service.fingerprint import canonical
+
+        out = canonical(TimelineSpec())
+        assert out["__config__"] == "TimelineSpec"
+        assert out["events"] == 8
+
+
+class TestLegacyShims:
+    def test_constructors_warn_but_work(self):
+        from repro.faults import (
+            NullFaultInjector,
+            RandomFaultInjector,
+            ScheduledFaultInjector,
+            TransientFaultInjector,
+        )
+        from repro.faults.transient import TransientFault
+
+        with pytest.warns(DeprecationWarning, match="ExplicitFaultSchedule"):
+            s = ScheduledFaultInjector([(5, SITE)])
+        assert isinstance(s, ExplicitFaultSchedule)
+        with pytest.warns(DeprecationWarning, match="RandomFaultSchedule"):
+            r = RandomFaultInjector(
+                CFG, 9, mean_interval=50, num_faults=1, rng=0
+            )
+        assert isinstance(r, RandomFaultSchedule)
+        with pytest.warns(DeprecationWarning, match="NullFaultSchedule"):
+            n = NullFaultInjector()
+        assert isinstance(n, NullFaultSchedule)
+        with pytest.warns(DeprecationWarning, match="TransientFaultSchedule"):
+            t = TransientFaultInjector([TransientFault(3, SITE)])
+        assert isinstance(t, TransientFaultSchedule)
+
+    def test_shim_error_paths_still_raise(self):
+        from repro.faults import RandomFaultInjector
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="mean_interval"):
+                RandomFaultInjector(CFG, 9, mean_interval=0, num_faults=1)
+
+
+class TestWarmPoolFingerprintKey:
+    """Regression: the schedule fingerprint is part of the pool key."""
+
+    def _fixture(self):
+        from repro.core.protected_router import protected_router_factory
+        from repro.traffic.generator import SyntheticTraffic
+
+        net = NetworkConfig(width=3, height=3)
+        sim_cfg = SimulationConfig(
+            warmup_cycles=20, measure_cycles=50, drain_cycles=500,
+            seed=3, watchdog_cycles=2000,
+        )
+        traffic = lambda seed: SyntheticTraffic(  # noqa: E731
+            net, injection_rate=0.02, rng=seed
+        )
+        return net, sim_cfg, traffic, protected_router_factory(net)
+
+    def test_fingerprint_is_in_the_key(self):
+        from repro.network import warm
+
+        warm.clear_pool()
+        try:
+            net, sim_cfg, traffic, factory = self._fixture()
+            sched = make_schedule(
+                TransientSpec(rate_per_cycle=0.05, cycles=40, seed=1),
+                config=net.router,
+                num_routers=net.num_nodes,
+            )
+            a = warm.acquire(net, sim_cfg, traffic(1), factory, sched)
+            key_a = next(iter(warm._POOL))
+            assert key_a[-1] == sched.fingerprint()
+            # same structure, no schedule: fabric recycles under a new key
+            b = warm.acquire(net, sim_cfg, traffic(2), factory, None)
+            assert b is a, "structural match should recycle the fabric"
+            assert warm.pool_size() == 1
+            (key_b,) = warm._POOL
+            assert key_b[-1] == "none"
+            assert key_b != key_a
+        finally:
+            warm.clear_pool()
+
+    def test_unfingerprintable_schedule_key_never_reused(self):
+        from repro.network import warm
+
+        class Opaque:
+            def due(self, cycle):
+                return iter(())
+
+        warm.clear_pool()
+        try:
+            net, sim_cfg, traffic, factory = self._fixture()
+            warm.acquire(net, sim_cfg, traffic(1), factory, Opaque())
+            (key1,) = warm._POOL
+            warm.acquire(net, sim_cfg, traffic(2), factory, Opaque())
+            (key2,) = warm._POOL
+            assert key1 != key2, "anonymous schedules must never alias"
+            assert warm.pool_size() == 1
+        finally:
+            warm.clear_pool()
+
+    def test_stale_transient_step_wrapper_cleared_on_reset(self):
+        """A pooled fabric must not retain a previous schedule's wrapper."""
+        from repro.network import warm
+
+        warm.clear_pool()
+        try:
+            net, sim_cfg, traffic, factory = self._fixture()
+            sched = make_schedule(
+                TransientSpec(rate_per_cycle=0.05, cycles=40, seed=1),
+                config=net.router,
+                num_routers=net.num_nodes,
+            )
+            sim = warm.acquire(net, sim_cfg, traffic(1), factory, sched)
+            sched.attach(sim)
+            assert "_step" in sim.__dict__
+            again = warm.acquire(net, sim_cfg, traffic(2), factory, None)
+            assert again is sim
+            assert "_step" not in sim.__dict__, (
+                "reset must drop the per-instance step wrapper"
+            )
+        finally:
+            warm.clear_pool()
+
+
+class TestSpecFreezing:
+    def test_specs_are_frozen_and_hashable(self):
+        for spec in (
+            ScheduledSpec(events=((1, 0, "rc_primary", 0, -1),)),
+            RandomSpec(),
+            NullSpec(),
+            TransientSpec(),
+            TimelineSpec(),
+        ):
+            hash(spec)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                spec.name = "other"

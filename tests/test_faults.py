@@ -5,9 +5,9 @@ import pytest
 
 from repro.config import RouterConfig
 from repro.faults.injector import (
-    NullFaultInjector,
-    RandomFaultInjector,
-    ScheduledFaultInjector,
+    NullFaultSchedule,
+    RandomFaultSchedule,
+    ExplicitFaultSchedule,
 )
 from repro.faults.sites import (
     FaultSite,
@@ -123,7 +123,7 @@ class TestScheduledInjector:
     def test_due_in_order(self):
         s1 = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
         s2 = FaultSite(0, FaultUnit.SA1_ARBITER, 1)
-        inj = ScheduledFaultInjector([(10, s1), (5, s2)])
+        inj = ExplicitFaultSchedule([(10, s1), (5, s2)])
         assert list(inj.due(4)) == []
         assert list(inj.due(5)) == [s2]
         assert list(inj.due(100)) == [s1]
@@ -132,26 +132,26 @@ class TestScheduledInjector:
     def test_multiple_same_cycle(self):
         s1 = FaultSite(0, FaultUnit.SA1_ARBITER, 0)
         s2 = FaultSite(1, FaultUnit.SA1_ARBITER, 0)
-        inj = ScheduledFaultInjector([(5, s1), (5, s2)])
+        inj = ExplicitFaultSchedule([(5, s1), (5, s2)])
         assert len(list(inj.due(5))) == 2
 
 
 class TestRandomInjector:
     def test_deterministic_with_seed(self):
         cfg = RouterConfig()
-        a = RandomFaultInjector(cfg, 16, mean_interval=100, num_faults=5, rng=3)
-        b = RandomFaultInjector(cfg, 16, mean_interval=100, num_faults=5, rng=3)
+        a = RandomFaultSchedule(cfg, 16, mean_interval=100, num_faults=5, rng=3)
+        b = RandomFaultSchedule(cfg, 16, mean_interval=100, num_faults=5, rng=3)
         assert a.planned == b.planned
 
     def test_sites_are_distinct(self):
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             RouterConfig(), 4, mean_interval=50, num_faults=20, rng=1
         )
         sites = [s for _, s in inj.planned]
         assert len(set(sites)) == 20
 
     def test_mean_interval_approximately_respected(self):
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             RouterConfig(), 64, mean_interval=1000, num_faults=200, rng=2
         )
         cycles = [c for c, _ in inj.planned]
@@ -159,7 +159,7 @@ class TestRandomInjector:
         assert 700 < gaps.mean() < 1300
 
     def test_first_fault_at(self):
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             RouterConfig(), 4, mean_interval=100, num_faults=3, rng=1,
             first_fault_at=42,
         )
@@ -167,12 +167,12 @@ class TestRandomInjector:
 
     def test_too_many_faults_rejected(self):
         with pytest.raises(ValueError):
-            RandomFaultInjector(
+            RandomFaultSchedule(
                 RouterConfig(), 1, mean_interval=10, num_faults=100, rng=0
             )
 
     def test_unprotected_pool_excludes_correction_sites(self):
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             RouterConfig(), 2, mean_interval=10, num_faults=120, rng=0,
             protected=False,
         )
@@ -180,16 +180,16 @@ class TestRandomInjector:
 
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
-            RandomFaultInjector(RouterConfig(), 4, mean_interval=0, num_faults=1)
+            RandomFaultSchedule(RouterConfig(), 4, mean_interval=0, num_faults=1)
         with pytest.raises(ValueError):
-            RandomFaultInjector(RouterConfig(), 4, mean_interval=10, num_faults=-1)
+            RandomFaultSchedule(RouterConfig(), 4, mean_interval=10, num_faults=-1)
 
     def test_avoid_failure_keeps_routers_alive(self):
         from repro.core.failure import protected_router_failed
         from repro.faults.sites import RouterFaultState
 
         cfg = RouterConfig()
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             cfg, 4, mean_interval=10, num_faults=40, rng=11,
             avoid_failure=True,
         )
@@ -201,7 +201,7 @@ class TestRandomInjector:
     def test_avoid_failure_can_exhaust(self):
         """Requesting more tolerable faults than exist raises."""
         with pytest.raises(ValueError, match="without failing"):
-            RandomFaultInjector(
+            RandomFaultSchedule(
                 RouterConfig(), 1, mean_interval=10, num_faults=70, rng=0,
                 avoid_failure=True,
             )
@@ -209,6 +209,6 @@ class TestRandomInjector:
 
 class TestNullInjector:
     def test_never_due(self):
-        inj = NullFaultInjector()
+        inj = NullFaultSchedule()
         assert list(inj.due(0)) == []
         assert list(inj.due(10**9)) == []

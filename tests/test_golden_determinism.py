@@ -22,7 +22,7 @@ import dataclasses
 
 from repro.config import NetworkConfig, RouterConfig, SimulationConfig
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import RandomFaultInjector
+from repro.faults.injector import RandomFaultSchedule
 from repro.network import warm
 from repro.network.simulator import NoCSimulator, baseline_router_factory
 from repro.observability import Observability, ObservabilityConfig
@@ -47,7 +47,7 @@ def _run_once(
     )
     fault_schedule = None
     if with_faults:
-        fault_schedule = RandomFaultInjector(
+        fault_schedule = RandomFaultSchedule(
             net.router,
             net.num_nodes,
             mean_interval=40,
@@ -193,7 +193,7 @@ class TestBatchedLaneGolden:
         )
 
     def _schedule(self, net):
-        return RandomFaultInjector(
+        return RandomFaultSchedule(
             net.router,
             net.num_nodes,
             mean_interval=40,
@@ -411,7 +411,7 @@ class TestWarmResetEquivalence:
         reset_packet_ids()
         schedule = None
         if with_faults:
-            schedule = RandomFaultInjector(
+            schedule = RandomFaultSchedule(
                 net.router,
                 net.num_nodes,
                 mean_interval=30,
@@ -467,7 +467,7 @@ class TestWarmResetEquivalence:
             ),
             SyntheticTraffic(net, injection_rate=0.1, rng=2),
             router_factory=factory,
-            fault_schedule=RandomFaultInjector(
+            fault_schedule=RandomFaultSchedule(
                 net.router,
                 net.num_nodes,
                 mean_interval=25,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import NetworkConfig, RouterConfig, SimulationConfig
-from repro.faults.injector import RandomFaultInjector, ScheduledFaultInjector
+from repro.faults.injector import RandomFaultSchedule, ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator
 from repro.router.flit import Packet
@@ -145,7 +145,7 @@ class TestProtectedNetwork:
 
     def test_network_survives_scattered_faults(self):
         net = make_network_config(4, 4)
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router, net.num_nodes, mean_interval=200, num_faults=10,
             rng=4, first_fault_at=100, avoid_failure=True,
         )
@@ -160,7 +160,7 @@ class TestProtectedNetwork:
         net = make_network_config(4, 4)
         base = make_sim(net, protected=True, measure=2500, seed=21,
                         injection_rate=0.1).run()
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router, net.num_nodes, mean_interval=100, num_faults=12,
             rng=8, first_fault_at=50, avoid_failure=True,
         )
@@ -178,7 +178,7 @@ class TestBaselineUnderFaults:
         the watchdog detects the stall."""
         net = make_network_config(4, 4)
         # SA arbiter of the west input port of a central router
-        inj = ScheduledFaultInjector(
+        inj = ExplicitFaultSchedule(
             [(50, FaultSite(5, FaultUnit.SA1_ARBITER, 4))]
         )
         sim = make_sim(
@@ -190,7 +190,7 @@ class TestBaselineUnderFaults:
 
     def test_protected_survives_same_fault(self):
         net = make_network_config(4, 4)
-        inj = ScheduledFaultInjector(
+        inj = ExplicitFaultSchedule(
             [(50, FaultSite(5, FaultUnit.SA1_ARBITER, 4))]
         )
         sim = make_sim(

@@ -12,7 +12,7 @@ import repro.observability as observability
 from repro.config import replace
 from repro.core.protected_router import protected_router_factory
 from repro.experiments.latency import QUICK_CONFIG
-from repro.faults.injector import RandomFaultInjector
+from repro.faults.injector import RandomFaultSchedule
 from repro.network.simulator import NoCSimulator
 from repro.observability import (
     EVENT_SCHEMA,
@@ -47,7 +47,7 @@ def _traced_run(**obs_kwargs):
     cfg = _small_cfg()
     net = cfg.network()
     traffic = make_app_traffic(net, app_profile("ocean"), rng=cfg.seed)
-    schedule = RandomFaultInjector(
+    schedule = RandomFaultSchedule(
         net.router,
         net.num_nodes,
         mean_interval=10.0,

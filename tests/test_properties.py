@@ -19,7 +19,7 @@ from hypothesis import strategies as st
 
 from repro.config import NetworkConfig, RouterConfig, SimulationConfig
 from repro.core.protected_router import protected_router_factory
-from repro.faults.injector import RandomFaultInjector
+from repro.faults.injector import RandomFaultSchedule
 from repro.network.simulator import NoCSimulator, baseline_router_factory
 from repro.traffic.generator import SyntheticTraffic
 
@@ -113,7 +113,7 @@ class TestFaultToleranceProperties:
     @settings(**SETTINGS)
     def test_tolerable_faults_never_wedge_protected_network(self, seed, nfaults):
         net = NetworkConfig(width=3, height=3, router=RouterConfig())
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router,
             net.num_nodes,
             mean_interval=20,
@@ -136,7 +136,7 @@ class TestFaultToleranceProperties:
         """Every ejected flit reached its true destination (the NIC asserts
         internally; this test also cross-checks the samples)."""
         net = NetworkConfig(width=3, height=3, router=RouterConfig())
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router, net.num_nodes, mean_interval=15, num_faults=12,
             rng=seed, first_fault_at=0, avoid_failure=True,
         )
@@ -161,7 +161,7 @@ class TestFaultToleranceProperties:
     def test_faulty_latency_never_better(self, seed, rate):
         net = NetworkConfig(width=3, height=3, router=RouterConfig())
         base = build_sim(net, seed, rate, protected=True).run()
-        inj = RandomFaultInjector(
+        inj = RandomFaultSchedule(
             net.router, net.num_nodes, mean_interval=10, num_faults=15,
             rng=seed, first_fault_at=0, avoid_failure=True,
         )

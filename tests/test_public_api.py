@@ -121,6 +121,32 @@ class TestFacade:
                 assert kw in params, f"{name}.run lacks {kw}="
                 assert params[kw].kind is inspect.Parameter.KEYWORD_ONLY, name
 
+    def test_fault_schedule_facade_resolves_to_canonical_objects(self):
+        import repro
+        from repro.experiments import fault_campaign
+        from repro.faults import FaultSchedule, FaultTimeline, make_schedule
+
+        assert repro.FaultSchedule is FaultSchedule
+        assert repro.FaultTimeline is FaultTimeline
+        assert repro.make_schedule is make_schedule
+        assert repro.CampaignConfig is fault_campaign.CampaignConfig
+        assert repro.run_fault_campaign is fault_campaign.run
+
+    def test_fault_schedule_api_signatures(self):
+        """Pin the unified FaultSchedule surface (api redesign contract)."""
+        import inspect
+
+        from repro.faults import FaultSchedule, make_schedule
+
+        sig = inspect.signature(make_schedule)
+        assert list(sig.parameters) == ["spec", "config", "num_routers"]
+        for kw in ("config", "num_routers"):
+            assert (
+                sig.parameters[kw].kind is inspect.Parameter.KEYWORD_ONLY
+            )
+        for method in ("events_at", "next_cycle", "fingerprint"):
+            assert hasattr(FaultSchedule, method)
+
     def test_legacy_keywords_warn_and_unknown_raise(self):
         from repro.experiments import spf_sweep
 

@@ -4,7 +4,7 @@ event-scheduler internals, and per-vnet statistics."""
 import pytest
 
 from repro.config import NetworkConfig, PORT_WEST, RouterConfig, SimulationConfig
-from repro.faults.injector import ScheduledFaultInjector
+from repro.faults.injector import ExplicitFaultSchedule
 from repro.faults.sites import FaultSite, FaultUnit
 from repro.network.simulator import NoCSimulator
 from repro.router.flit import Packet
@@ -16,7 +16,7 @@ from conftest import make_network_config, make_sim
 class TestWatchdog:
     def test_watchdog_trips_on_wedged_baseline(self):
         net = make_network_config(3, 3)
-        inj = ScheduledFaultInjector(
+        inj = ExplicitFaultSchedule(
             [(10, FaultSite(4, FaultUnit.SA1_ARBITER, PORT_WEST))]
         )
         sim = make_sim(
@@ -57,7 +57,7 @@ class TestDrain:
         """A wedged packet with a drain budget too small to notice via
         watchdog: drained=False, blocked may also flag."""
         net = make_network_config(3, 3)
-        inj = ScheduledFaultInjector([
+        inj = ExplicitFaultSchedule([
             (0, FaultSite(4, FaultUnit.RC_PRIMARY, PORT_WEST)),
         ])
         pkt = Packet(src=3, dest=5, size_flits=1, creation_cycle=10)
